@@ -1,0 +1,99 @@
+"""Substrate performance benches: placer, router and LH-graph scaling.
+
+Not a paper table, but the numbers that justify the paper's premise: a
+global router is the bottleneck of the placement loop (§1 — "time
+consumption tends to be unacceptable when utilizing a global router"),
+while an LHNN forward pass is cheap.  These benches time each pipeline
+stage and LHNN inference on the default suite scale, so regressions in any
+substrate show up in CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import DesignSpec, generate_design
+from repro.graph import build_lhgraph
+from repro.models.lhnn import LHNN, LHNNConfig
+from repro.nn import Tensor, no_grad
+from repro.placement import PlacementConfig, place
+from repro.routing import GlobalRouter, RouterConfig, extract_maps
+
+
+@pytest.fixture(scope="module")
+def bench_design():
+    return generate_design(DesignSpec(name="bench", seed=99,
+                                      num_movable=900, die_size=64.0))
+
+
+@pytest.fixture(scope="module")
+def bench_placed(bench_design):
+    d = bench_design.copy()
+    place(d, PlacementConfig())
+    return d
+
+
+@pytest.fixture(scope="module")
+def bench_routed(bench_placed):
+    router = GlobalRouter(bench_placed.copy(), RouterConfig())
+    return router.run()
+
+
+@pytest.fixture(scope="module")
+def bench_graph(bench_placed, bench_routed):
+    return build_lhgraph(bench_placed, bench_routed.grid,
+                         extract_maps(bench_routed.grid))
+
+
+def test_bench_placement(bench_design, benchmark):
+    def run():
+        d = bench_design.copy()
+        return place(d, PlacementConfig())
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.hpwl_final > 0
+
+
+def test_bench_global_routing(bench_placed, benchmark):
+    def run():
+        return GlobalRouter(bench_placed.copy(), RouterConfig()).run()
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.num_segments > 0
+
+
+def test_bench_lhgraph_build(bench_placed, bench_routed, benchmark):
+    maps = extract_maps(bench_routed.grid)
+    graph = benchmark(build_lhgraph, bench_placed, bench_routed.grid, maps)
+    assert graph.num_gnets > 0
+
+
+def test_bench_lhnn_inference(bench_graph, benchmark):
+    """The paper's speed claim: model inference ≪ global routing."""
+    model = LHNN(LHNNConfig(), np.random.default_rng(0))
+    model.eval()
+
+    def run():
+        with no_grad():
+            return model(bench_graph)
+
+    out = benchmark(run)
+    assert np.isfinite(out.cls_prob.data).all()
+
+
+def test_bench_lhnn_train_step(bench_graph, benchmark):
+    from repro.nn import Adam
+    from repro.nn.losses import JointLoss
+    model = LHNN(LHNNConfig(), np.random.default_rng(0))
+    opt = Adam(model.parameters(), lr=2e-3)
+    loss_fn = JointLoss()
+    cls_t = bench_graph.congestion[:, :1]
+    reg_t = bench_graph.demand[:, :1]
+
+    def step():
+        opt.zero_grad()
+        out = model(bench_graph)
+        loss = loss_fn(out.cls_prob, out.reg_pred, cls_t, reg_t)
+        loss.backward()
+        opt.step()
+        return loss
+
+    loss = benchmark(step)
+    assert np.isfinite(loss.item())

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Model zoo: train every implemented model and break results down per design.
+
+Trains the paper's four Table-2 models (LHNN, MLP, U-Net, Pix2Pix) plus
+the two §2.2 related-work formulations (GridSAGE, CongestionNet is left
+to the bench since it needs cell-level data), prints the per-design
+precision/recall/F1 breakdown for each, and saves the LHNN checkpoint for
+later use with ``python -m repro.cli evaluate``.
+
+Usage::
+
+    python examples/model_zoo.py [--epochs 20] [--seed 0]
+"""
+
+import argparse
+import time
+
+from repro.data import CongestionDataset
+from repro.eval import per_design_report, predicted_rate_table
+from repro.models.lhnn import LHNNConfig
+from repro.nn import Tensor, save_checkpoint
+from repro.pipeline import PipelineConfig, prepare_suite
+from repro.train import (TrainConfig, train_gridsage, train_lhnn, train_mlp,
+                         train_pix2pix, train_unet)
+from repro.train.trainer import _predict_tiled
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    graphs = prepare_suite(PipelineConfig(), verbose=False)
+    dataset = CongestionDataset(graphs, channels=1)
+    tr = dataset.train_samples()
+    te = dataset.test_samples()
+    crop = dataset.graphs[0].nx // 2
+    cfg = TrainConfig(epochs=args.epochs, seed=args.seed, crop=crop)
+
+    zoo = {}
+
+    t0 = time.time()
+    lhnn = train_lhnn(tr, cfg, LHNNConfig(channels=1))
+    zoo["LHNN"] = (lhnn, None)
+    print(f"trained LHNN in {time.time() - t0:.1f} s")
+
+    t0 = time.time()
+    mlp = train_mlp(tr, cfg)
+    zoo["4-layer MLP"] = (mlp, lambda s: mlp(Tensor(s.features)).data)
+    print(f"trained MLP in {time.time() - t0:.1f} s")
+
+    t0 = time.time()
+    sage = train_gridsage(tr, cfg)
+    zoo["GridSAGE"] = (sage,
+                       lambda s: sage(s.graph, vc=Tensor(s.features)).data)
+    print(f"trained GridSAGE in {time.time() - t0:.1f} s")
+
+    t0 = time.time()
+    unet = train_unet(tr, cfg)
+    zoo["U-net"] = (unet, lambda s: _predict_tiled(
+        unet, s.image, 1, crop)[0].transpose(1, 2, 0).reshape(-1, 1))
+    print(f"trained U-net in {time.time() - t0:.1f} s")
+
+    t0 = time.time()
+    p2p = train_pix2pix(tr, cfg)
+    zoo["Pix2Pix"] = (p2p, lambda s: _predict_tiled(
+        p2p.generator, s.image, 1, crop)[0].transpose(1, 2, 0).reshape(-1, 1))
+    print(f"trained Pix2Pix in {time.time() - t0:.1f} s")
+
+    print()
+    for name, (model, predict) in zoo.items():
+        rows = per_design_report(model, te, predict=predict)
+        print(predicted_rate_table(
+            rows, title=f"{name}: held-out per-design results"))
+        mean_f1 = sum(r["F1"] for r in rows) / len(rows)
+        print(f"mean F1: {mean_f1:.2f} %\n")
+
+    path = save_checkpoint(lhnn, "artifacts/lhnn_zoo.npz",
+                           metadata={"channels": 1, "epochs": args.epochs,
+                                     "seed": args.seed})
+    print(f"LHNN checkpoint saved to {path} — inspect with\n"
+          f"  python -m repro.cli evaluate --checkpoint {path}")
+
+
+if __name__ == "__main__":
+    main()

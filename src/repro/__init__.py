@@ -1,0 +1,41 @@
+"""LHNN reproduction: Lattice Hypergraph Neural Network for VLSI
+congestion prediction (Wang et al., DAC 2022).
+
+A from-scratch Python implementation of the paper's system and its entire
+experimental stack:
+
+* :mod:`repro.nn` — numpy autograd engine (PyTorch/DGL stand-in),
+* :mod:`repro.circuit` — netlists, Bookshelf I/O, synthetic benchmarks,
+* :mod:`repro.placement` — analytical placer (DREAMPlace stand-in),
+* :mod:`repro.routing` — global router (NCTU-GR stand-in) and label maps,
+* :mod:`repro.features` — crafted feature generators,
+* :mod:`repro.graph` — the LH-graph formulation,
+* :mod:`repro.models` — LHNN, MLP, U-Net and Pix2Pix,
+* :mod:`repro.data` / :mod:`repro.train` — dataset, splits, training,
+* :mod:`repro.pipeline` — netlist → placement → routing → LH-graph,
+* :mod:`repro.eval` — paper tables and Figure-4 visualisation.
+
+Quickstart::
+
+    from repro.pipeline import PipelineConfig, prepare_suite
+    from repro.data import CongestionDataset
+    from repro.train import TrainConfig, train_lhnn, evaluate_lhnn
+
+    graphs = prepare_suite(PipelineConfig())
+    dataset = CongestionDataset(graphs, channels=1)
+    model = train_lhnn(dataset.train_samples(), TrainConfig(epochs=40))
+    print(evaluate_lhnn(model, dataset.test_samples()))
+"""
+
+__version__ = "1.0.0"
+
+from . import circuit, data, eval, features, graph, models, nn, placement
+from . import routing, train
+from .pipeline import PipelineConfig, prepare_design, prepare_suite
+
+__all__ = [
+    "circuit", "data", "eval", "features", "graph", "models", "nn",
+    "placement", "routing", "train",
+    "PipelineConfig", "prepare_design", "prepare_suite",
+    "__version__",
+]

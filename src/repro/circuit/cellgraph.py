@@ -1,0 +1,127 @@
+"""Cell-level connectivity graph and features.
+
+The CongestionNet baseline (paper §2.2, ref [10]) operates on the *cell*
+graph — cells are nodes, net connectivity induces edges — rather than the
+G-cell grid.  This module derives that graph from a
+:class:`~repro.circuit.design.Design`: clique expansion for small nets,
+star expansion through the net's first pin for large ones (bounding the
+edge count), plus simple per-cell features.
+
+Cell-level predictions are mapped back to G-cells with
+:func:`cells_to_gcells` so they can be scored against the same congestion
+labels as the grid models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..routing.grid import RoutingGrid
+from .design import Design
+
+__all__ = ["CellGraph", "build_cell_graph", "cell_features",
+           "cells_to_gcells", "CELL_FEATURE_NAMES"]
+
+CELL_FEATURE_NAMES = ("width", "height", "num_pins", "num_nets",
+                      "is_fixed", "x_norm", "y_norm")
+
+
+@dataclass
+class CellGraph:
+    """Cell connectivity as symmetric directed edge arrays."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    num_cells: int
+
+    @property
+    def num_edges(self) -> int:
+        """Directed edge count (each undirected link appears twice)."""
+        return len(self.src)
+
+    def degree(self) -> np.ndarray:
+        """In-degree per cell."""
+        deg = np.zeros(self.num_cells, dtype=np.int64)
+        np.add.at(deg, self.dst, 1)
+        return deg
+
+
+def build_cell_graph(design: Design, clique_max_degree: int = 4) -> CellGraph:
+    """Net connectivity → cell edges (clique for small nets, star above).
+
+    Duplicate edges are removed; the graph is symmetric.
+    """
+    deg = design.net_degree()
+    pairs: set[tuple[int, int]] = set()
+    for net in range(design.num_nets):
+        pins = design.net_pin_slice(net)
+        cells = np.unique(design.pin_cell[pins.start:pins.stop])
+        if len(cells) < 2:
+            continue
+        if len(cells) <= clique_max_degree:
+            for i in range(len(cells)):
+                for j in range(i + 1, len(cells)):
+                    pairs.add((int(cells[i]), int(cells[j])))
+        else:
+            hub = int(cells[0])
+            for other in cells[1:]:
+                pairs.add((hub, int(other)))
+    if pairs:
+        a = np.array([p[0] for p in pairs], dtype=np.int64)
+        b = np.array([p[1] for p in pairs], dtype=np.int64)
+        src = np.concatenate([a, b])
+        dst = np.concatenate([b, a])
+    else:
+        src = dst = np.zeros(0, dtype=np.int64)
+    return CellGraph(src=src, dst=dst, num_cells=design.num_cells)
+
+
+def cell_features(design: Design) -> np.ndarray:
+    """Per-cell features (see :data:`CELL_FEATURE_NAMES`)."""
+    num_pins = np.zeros(design.num_cells)
+    np.add.at(num_pins, design.pin_cell, 1.0)
+    nets_of_cell = [set() for _ in range(design.num_cells)]
+    for net in range(design.num_nets):
+        pins = design.net_pin_slice(net)
+        for cid in design.pin_cell[pins.start:pins.stop]:
+            nets_of_cell[cid].add(net)
+    num_nets = np.array([len(s) for s in nets_of_cell], dtype=np.float64)
+    xl, yl, xh, yh = design.die
+    return np.stack([
+        design.cell_w,
+        design.cell_h,
+        num_pins,
+        num_nets,
+        design.cell_fixed.astype(np.float64),
+        (design.cell_x - xl) / max(xh - xl, 1e-9),
+        (design.cell_y - yl) / max(yh - yl, 1e-9),
+    ], axis=-1)
+
+
+def cells_to_gcells(design: Design, grid: RoutingGrid,
+                    cell_values: np.ndarray,
+                    reduce: str = "max") -> np.ndarray:
+    """Aggregate per-cell predictions onto the G-cell grid.
+
+    Each cell contributes its value to the G-cell containing its centre;
+    ``reduce`` ∈ {"max", "mean"} resolves multiple cells per G-cell.
+    Empty G-cells get 0.
+    """
+    cx = design.cell_x + design.cell_w / 2.0
+    cy = design.cell_y + design.cell_h / 2.0
+    gx, gy = grid.gcells_of(cx, cy)
+    flat = gx * grid.ny + gy
+    values = np.asarray(cell_values, dtype=np.float64).reshape(-1)
+    out = np.zeros(grid.nx * grid.ny)
+    if reduce == "max":
+        np.maximum.at(out, flat, values)
+    elif reduce == "mean":
+        counts = np.zeros_like(out)
+        np.add.at(out, flat, values)
+        np.add.at(counts, flat, 1.0)
+        out = out / np.maximum(counts, 1.0)
+    else:
+        raise ValueError("reduce must be 'max' or 'mean'")
+    return out.reshape(grid.nx, grid.ny)

@@ -1,0 +1,182 @@
+"""Command-line interface for the LHNN reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli prepare   [--scale 1.0]          # build & cache suite
+    python -m repro.cli stats                             # Table-1 style stats
+    python -m repro.cli train     [--epochs 20] [--duo] [--out ckpt.npz]
+    python -m repro.cli evaluate  --checkpoint ckpt.npz   # held-out metrics
+    python -m repro.cli predict   --checkpoint ckpt.npz --design superblue5
+    python -m repro.cli info                              # package versions
+
+Every subcommand works off the cached pipeline products, so the first
+invocation of any data-touching command pays the place-and-route cost
+once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LHNN (DAC 2022) reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("prepare", help="generate, place and route the suite")
+    p.add_argument("--scale", type=float, default=1.0)
+
+    sub.add_parser("stats", help="print dataset statistics and the split")
+
+    p = sub.add_parser("train", help="train LHNN and save a checkpoint")
+    p.add_argument("--epochs", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duo", action="store_true")
+    p.add_argument("--gamma", type=float, default=0.7)
+    p.add_argument("--out", default="artifacts/lhnn.npz")
+
+    p = sub.add_parser("evaluate", help="evaluate a checkpoint on the "
+                       "held-out designs")
+    p.add_argument("--checkpoint", required=True)
+
+    p = sub.add_parser("predict", help="render prediction vs truth for one "
+                       "design")
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--design", required=True,
+                   help="design name, e.g. superblue5")
+
+    sub.add_parser("info", help="print version and dependency info")
+    return parser
+
+
+def _load_dataset(channels: int = 1, scale: float = 1.0):
+    from repro.data import CongestionDataset
+    from repro.pipeline import PipelineConfig, prepare_suite
+    graphs = prepare_suite(PipelineConfig(scale=scale), verbose=True)
+    return CongestionDataset(graphs, channels=channels)
+
+
+def cmd_prepare(args) -> int:
+    dataset = _load_dataset(scale=args.scale)
+    print(f"prepared {len(dataset)} designs "
+          f"({dataset.graphs[0].nx}x{dataset.graphs[0].ny} G-cells each)")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.eval import format_table
+    dataset = _load_dataset()
+    print(format_table(dataset.table1_rows(),
+                       title="Dataset information (Table 1 protocol)"))
+    split = dataset.split
+    print(f"\nbalanced split gap: {100 * split.rate_gap:.3f} pp")
+    rows = [{"design": g.name,
+             "H-rate_%": round(100 * g.congestion_rate(0), 2),
+             "V-rate_%": round(100 * g.congestion_rate(1), 2),
+             "role": ("test" if i in split.test_indices else "train")}
+            for i, g in enumerate(dataset.graphs)]
+    print("\n" + format_table(rows, title="Per-design congestion rates"))
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.models.lhnn import LHNNConfig
+    from repro.nn.serialize import save_checkpoint
+    from repro.train import TrainConfig, evaluate_lhnn, train_lhnn
+    channels = 2 if args.duo else 1
+    dataset = _load_dataset(channels=channels)
+    model = train_lhnn(dataset.train_samples(),
+                       TrainConfig(epochs=args.epochs, seed=args.seed,
+                                   gamma=args.gamma, verbose=True),
+                       LHNNConfig(channels=channels))
+    metrics = evaluate_lhnn(model, dataset.test_samples())
+    print(f"held-out F1 {metrics['f1']:.2f} %  ACC {metrics['acc']:.2f} %")
+    path = save_checkpoint(model, args.out, metadata={
+        "channels": channels, "epochs": args.epochs, "seed": args.seed,
+        "gamma": args.gamma, "f1": metrics["f1"], "acc": metrics["acc"],
+    })
+    print(f"checkpoint written to {path}")
+    return 0
+
+
+def _restore_model(checkpoint: str):
+    from repro.models.lhnn import LHNN, LHNNConfig
+    from repro.nn.serialize import load_checkpoint
+    probe = LHNN(LHNNConfig(channels=1), np.random.default_rng(0))
+    try:
+        meta = load_checkpoint(probe, checkpoint)
+        return probe, meta
+    except Exception:
+        probe = LHNN(LHNNConfig(channels=2), np.random.default_rng(0))
+        meta = load_checkpoint(probe, checkpoint)
+        return probe, meta
+
+
+def cmd_evaluate(args) -> int:
+    from repro.eval.reporting import per_design_report, predicted_rate_table
+    model, meta = _restore_model(args.checkpoint)
+    channels = int(meta.get("channels", model.config.channels))
+    dataset = _load_dataset(channels=channels)
+    rows = per_design_report(model, dataset.test_samples())
+    print(predicted_rate_table(rows, title="Held-out per-design results"))
+    f1s = [r["F1"] for r in rows]
+    print(f"\nmean F1 {np.mean(f1s):.2f} %")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.eval import comparison_panel
+    from repro.nn import Tensor, no_grad
+    model, meta = _restore_model(args.checkpoint)
+    channels = int(meta.get("channels", model.config.channels))
+    dataset = _load_dataset(channels=channels)
+    names = [g.name for g in dataset.graphs]
+    if args.design not in names:
+        print(f"unknown design {args.design!r}; choose from {names}",
+              file=sys.stderr)
+        return 2
+    sample = dataset.sample(names.index(args.design))
+    model.eval()
+    with no_grad():
+        out = model(sample.graph, vc=Tensor(sample.features),
+                    vn=Tensor(sample.net_features))
+    g = sample.graph
+    panel = comparison_panel(
+        g.map_to_grid(sample.cls_target[:, 0]),
+        {"LHNN": g.map_to_grid(out.cls_prob.data[:, 0])},
+        title=f"{g.name} (H congestion)")
+    print(panel)
+    return 0
+
+
+def cmd_info(args) -> int:
+    import numpy
+    import scipy
+
+    import repro
+    print(f"repro {repro.__version__}")
+    print(f"numpy {numpy.__version__}, scipy {scipy.__version__}")
+    print(f"python {sys.version.split()[0]}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "prepare": cmd_prepare,
+        "stats": cmd_stats,
+        "train": cmd_train,
+        "evaluate": cmd_evaluate,
+        "predict": cmd_predict,
+        "info": cmd_info,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

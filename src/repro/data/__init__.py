@@ -1,0 +1,7 @@
+"""``repro.data`` — dataset views and the balanced 10:5 split selection."""
+
+from .dataset import CongestionDataset, GraphSample
+from .splits import SplitResult, enumerate_splits, select_balanced_split
+
+__all__ = ["CongestionDataset", "GraphSample",
+           "SplitResult", "enumerate_splits", "select_balanced_split"]

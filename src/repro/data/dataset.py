@@ -1,0 +1,164 @@
+"""Dataset views over prepared LH-graphs.
+
+:class:`CongestionDataset` wraps the list of labelled LH-graphs produced
+by :mod:`repro.pipeline` and provides the views each model family
+consumes:
+
+* **graph view** — the LH-graph itself (LHNN),
+* **tabular view** — flat per-G-cell feature rows (MLP baseline),
+* **image view** — NCHW feature images and label maps (U-Net, Pix2Pix),
+
+plus channel selection (uni = horizontal only, duo = H and V), the
+balanced 10:5 split of :mod:`repro.data.splits`, and the "zero G-cell
+features" ablation transform of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.lhgraph import LHGraph
+from .splits import SplitResult, select_balanced_split
+
+__all__ = ["CongestionDataset", "GraphSample"]
+
+
+def standardize(features: np.ndarray) -> np.ndarray:
+    """Per-channel z-score; all-constant channels map to zero."""
+    mean = features.mean(axis=0, keepdims=True)
+    std = features.std(axis=0, keepdims=True)
+    return (features - mean) / np.where(std > 1e-12, std, 1.0)
+
+
+@dataclass
+class GraphSample:
+    """One design's training example in every view.
+
+    ``features``/``net_features`` are per-design standardised model inputs
+    of shape (Nc, 4) / (Nn, 4); ``image`` is (1, 4, nx, ny) standardised;
+    label arrays are (Nc, channels) / (1, channels, nx, ny), channels ∈
+    {1, 2}.
+    """
+
+    name: str
+    graph: LHGraph
+    features: np.ndarray
+    net_features: np.ndarray
+    image: np.ndarray
+    cls_target: np.ndarray
+    reg_target: np.ndarray
+    cls_image: np.ndarray
+    reg_image: np.ndarray
+
+
+class CongestionDataset:
+    """The 15-design congestion-prediction dataset.
+
+    Parameters
+    ----------
+    graphs:
+        Labelled LH-graphs from :func:`repro.pipeline.prepare_suite`.
+    channels:
+        1 → uni-channel task (horizontal congestion only);
+        2 → duo-channel (horizontal and vertical).
+    zero_gcell_features:
+        Table-3 ablation: zero the net-density and pin-density channels,
+        keeping only the terminal mask.
+    """
+
+    def __init__(self, graphs: list[LHGraph], channels: int = 1,
+                 zero_gcell_features: bool = False):
+        if channels not in (1, 2):
+            raise ValueError("channels must be 1 (uni) or 2 (duo)")
+        for g in graphs:
+            if g.congestion is None or g.demand is None:
+                raise ValueError(f"graph {g.name} is unlabelled")
+        self.graphs = list(graphs)
+        self.channels = channels
+        self.zero_gcell_features = zero_gcell_features
+        self._split: SplitResult | None = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def congestion_rates(self, channel: int = 0) -> np.ndarray:
+        """Per-design congestion rate for the given label channel."""
+        return np.array([g.congestion_rate(channel) for g in self.graphs])
+
+    @property
+    def split(self) -> SplitResult:
+        """The balanced 10:5 split (computed lazily, then cached)."""
+        if self._split is None:
+            test_size = max(1, round(len(self.graphs) / 3))
+            self._split = select_balanced_split(self.congestion_rates(0),
+                                                test_size=test_size)
+        return self._split
+
+    def train_samples(self) -> list[GraphSample]:
+        """Samples of the training designs."""
+        return [self.sample(i) for i in self.split.train_indices]
+
+    def test_samples(self) -> list[GraphSample]:
+        """Samples of the held-out designs."""
+        return [self.sample(i) for i in self.split.test_indices]
+
+    # ------------------------------------------------------------------
+    def sample(self, index: int) -> GraphSample:
+        """Materialise every view of design ``index``.
+
+        Features are standardised per design *after* the optional
+        zero-G-cell-feature ablation, so zeroed channels stay zero.
+        """
+        g = self.graphs[index]
+        features = g.vc.copy()
+        if self.zero_gcell_features:
+            # Keep only the terminal mask (channel 3); zero densities.
+            features[:, 0:3] = 0.0
+        features = standardize(features)
+        net_features = standardize(g.vn)
+        cls_target = g.congestion[:, :self.channels]
+        reg_target = g.demand[:, :self.channels]
+        nx, ny = g.nx, g.ny
+        image = features.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
+        cls_image = cls_target.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
+        reg_image = reg_target.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
+        return GraphSample(
+            name=g.name, graph=g,
+            features=features, net_features=net_features, image=image,
+            cls_target=cls_target, reg_target=reg_target,
+            cls_image=cls_image, reg_image=reg_image,
+        )
+
+    # ------------------------------------------------------------------
+    def table1_rows(self) -> list[dict]:
+        """Rows of the paper's Table 1 for the current split."""
+        rows = []
+        split = self.split
+        for label, idx, rate in (
+                ("Training", split.train_indices, split.train_rate),
+                ("Testing", split.test_indices, split.test_rate)):
+            metas = [self.graphs[i].metadata for i in idx]
+            rows.append({
+                "split": label,
+                "designs": ", ".join(self.graphs[i].name.replace("superblue", "")
+                                     for i in idx),
+                "#cells": int(np.mean([m.get("num_cells", 0) for m in metas])),
+                "#nets": int(np.mean([m.get("num_nets", 0) for m in metas])),
+                "#gcells": int(np.mean([self.graphs[i].num_gcells for i in idx])),
+                "congestion_rate_%": round(100.0 * rate, 2),
+            })
+        all_idx = list(range(len(self.graphs)))
+        rows.append({
+            "split": "Total",
+            "designs": "All designs",
+            "#cells": int(np.mean([self.graphs[i].metadata.get("num_cells", 0)
+                                   for i in all_idx])),
+            "#nets": int(np.mean([self.graphs[i].metadata.get("num_nets", 0)
+                                  for i in all_idx])),
+            "#gcells": int(np.mean([self.graphs[i].num_gcells for i in all_idx])),
+            "congestion_rate_%": round(100.0 * float(self.congestion_rates(0).mean()), 2),
+        })
+        return rows

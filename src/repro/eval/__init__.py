@@ -1,0 +1,13 @@
+"""``repro.eval`` — table formatting and congestion-map visualisation."""
+
+from .tables import format_table, format_table2, format_table3
+from .visualize import ascii_heatmap, write_pgm, comparison_panel
+from .reporting import per_design_report, predicted_rate_table, markdown_table
+from .calibration import (ReliabilityBin, reliability_bins,
+                          expected_calibration_error, rate_tracking_error)
+
+__all__ = ["format_table", "format_table2", "format_table3",
+           "ascii_heatmap", "write_pgm", "comparison_panel",
+           "per_design_report", "predicted_rate_table", "markdown_table",
+           "ReliabilityBin", "reliability_bins",
+           "expected_calibration_error", "rate_tracking_error"]

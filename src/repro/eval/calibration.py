@@ -1,0 +1,100 @@
+"""Probability-calibration diagnostics.
+
+Figure 4's qualitative claim — LHNN tracks each circuit's congestion level
+while CNNs predict an "averaged" level — is a calibration statement.
+This module quantifies it:
+
+* :func:`expected_calibration_error` — the standard binned ECE of
+  predicted probabilities against binary labels,
+* :func:`reliability_bins` — the underlying per-bin confidence/accuracy
+  table (renderable as a reliability diagram),
+* :func:`rate_tracking_error` — per-design |predicted positive rate −
+  true rate|, the exact quantity Figure 4 argues about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReliabilityBin", "reliability_bins",
+           "expected_calibration_error", "rate_tracking_error"]
+
+
+@dataclass
+class ReliabilityBin:
+    """One confidence bin of a reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    empirical_accuracy: float
+
+    @property
+    def gap(self) -> float:
+        """|confidence − accuracy| of this bin."""
+        return abs(self.mean_confidence - self.empirical_accuracy)
+
+
+def reliability_bins(prob: np.ndarray, target: np.ndarray,
+                     num_bins: int = 10) -> list[ReliabilityBin]:
+    """Bin predictions by confidence and compare with empirical rates.
+
+    ``prob`` holds positive-class probabilities; ``target`` binary labels.
+    Empty bins are skipped.
+    """
+    prob = np.asarray(prob, dtype=np.float64).reshape(-1)
+    target = np.asarray(target, dtype=np.float64).reshape(-1)
+    if prob.shape != target.shape:
+        raise ValueError("probability/label shape mismatch")
+    if num_bins < 1:
+        raise ValueError("need at least one bin")
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bins: list[ReliabilityBin] = []
+    for i in range(num_bins):
+        lo, hi = edges[i], edges[i + 1]
+        if i == num_bins - 1:
+            mask = (prob >= lo) & (prob <= hi)
+        else:
+            mask = (prob >= lo) & (prob < hi)
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        bins.append(ReliabilityBin(
+            lower=float(lo), upper=float(hi), count=count,
+            mean_confidence=float(prob[mask].mean()),
+            empirical_accuracy=float(target[mask].mean()),
+        ))
+    return bins
+
+
+def expected_calibration_error(prob: np.ndarray, target: np.ndarray,
+                               num_bins: int = 10) -> float:
+    """ECE = Σ_b (n_b / N) · |conf_b − acc_b| over confidence bins."""
+    prob = np.asarray(prob).reshape(-1)
+    total = prob.size
+    if total == 0:
+        return 0.0
+    return float(sum(b.count / total * b.gap
+                     for b in reliability_bins(prob, target, num_bins)))
+
+
+def rate_tracking_error(per_design_prob: list[np.ndarray],
+                        per_design_target: list[np.ndarray],
+                        threshold: float = 0.5) -> float:
+    """Mean |predicted positive rate − true positive rate| across designs.
+
+    The Figure-4 statistic: a model that predicts an "averaged" congestion
+    level for every circuit has a high tracking error on a suite whose
+    congestion rates vary widely.
+    """
+    if len(per_design_prob) != len(per_design_target):
+        raise ValueError("need one probability array per target array")
+    errors = []
+    for prob, target in zip(per_design_prob, per_design_target):
+        pred_rate = float((np.asarray(prob) >= threshold).mean())
+        true_rate = float(np.asarray(target).mean())
+        errors.append(abs(pred_rate - true_rate))
+    return float(np.mean(errors)) if errors else 0.0

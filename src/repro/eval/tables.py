@@ -1,0 +1,53 @@
+"""Plain-text table rendering for the reproduced paper tables."""
+
+from __future__ import annotations
+
+from ..train.metrics import MetricSummary
+
+__all__ = ["format_table", "format_table2", "format_table3"]
+
+
+def format_table(rows: list[dict], title: str = "") -> str:
+    """Render a list of uniform dicts as an aligned text table."""
+    if not rows:
+        return title
+    columns = list(rows[0])
+    widths = {c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+              for c in columns}
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    sep = "-+-".join("-" * widths[c] for c in columns)
+    body = [" | ".join(str(r.get(c, "")).ljust(widths[c]) for c in columns)
+            for r in rows]
+    lines = ([title] if title else []) + [header, sep] + body
+    return "\n".join(lines)
+
+
+def format_table2(results: dict[str, dict[str, MetricSummary]]) -> str:
+    """Render the model-comparison table (paper Table 2).
+
+    ``results[model][task]`` with task in {"uni", "duo"}.
+    """
+    rows = []
+    for model, tasks in results.items():
+        row: dict = {"Model": model}
+        for task in ("uni", "duo"):
+            if task in tasks:
+                s = tasks[task]
+                row[f"{task} F1"] = f"{s.f1_mean:.2f}±{s.f1_std:.2f}"
+                row[f"{task} ACC"] = f"{s.acc_mean:.2f}±{s.acc_std:.2f}"
+            else:
+                row[f"{task} F1"] = "-"
+                row[f"{task} ACC"] = "-"
+        rows.append(row)
+    return format_table(rows, title="Table 2: model comparison (F1 / ACC, %)")
+
+
+def format_table3(results: dict[str, float], full_key: str = "full") -> str:
+    """Render the ablation table (paper Table 3): F1 and ΔF1/F1_full %."""
+    full = results.get(full_key, 0.0)
+    rows = []
+    for name, f1 in results.items():
+        delta = 0.0 if full == 0 else 100.0 * (f1 - full) / full
+        rows.append({"Ablation": name, "F1": f"{f1:.2f}",
+                     "ΔF1/F1_full (%)": f"{delta:+.2f}"})
+    return format_table(rows, title="Table 3: ablation study (uni-channel)")

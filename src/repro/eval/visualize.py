@@ -1,0 +1,81 @@
+"""Congestion-map visualisation (paper Figure 4).
+
+Terminal-friendly ASCII heatmaps plus binary PGM image export (viewable
+anywhere, no extra dependencies), and a side-by-side comparison renderer
+showing ground truth against several models' predictions for one design.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "write_pgm", "comparison_panel"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: np.ndarray, width: int | None = None) -> str:
+    """Render a 2-D array as an ASCII heatmap (rows top-to-bottom = y desc).
+
+    Values are min-max normalised; ``width`` optionally downsamples the
+    horizontal axis for narrow terminals.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("ascii_heatmap expects a 2-D array")
+    if width is not None and arr.shape[0] > width:
+        step = arr.shape[0] // width
+        arr = arr[::step, ::step]
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    normed = (arr - lo) / span
+    # array is (x, y); render y as rows from top (max y) down.
+    lines = []
+    for y in range(arr.shape[1] - 1, -1, -1):
+        row = "".join(_RAMP[min(int(v * (len(_RAMP) - 1)), len(_RAMP) - 1)]
+                      for v in normed[:, y])
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def write_pgm(values: np.ndarray, path: str) -> str:
+    """Write a 2-D array as an 8-bit binary PGM image; returns ``path``."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("write_pgm expects a 2-D array")
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    img = ((arr - lo) / span * 255.0).astype(np.uint8)
+    # (x, y) → image rows top-down.
+    img = img.T[::-1]
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{img.shape[1]} {img.shape[0]}\n255\n".encode())
+        handle.write(img.tobytes())
+    return path
+
+
+def comparison_panel(truth: np.ndarray, predictions: dict[str, np.ndarray],
+                     title: str = "") -> str:
+    """Side-by-side ASCII panels: ground truth then each model's map."""
+    panels = {"ground truth": truth}
+    panels.update(predictions)
+    rendered = {name: ascii_heatmap(arr).split("\n")
+                for name, arr in panels.items()}
+    height = max(len(lines) for lines in rendered.values())
+    widths = {name: max(len(line) for line in lines)
+              for name, lines in rendered.items()}
+    header = "   ".join(name.ljust(widths[name]) for name in rendered)
+    body_lines = []
+    for i in range(height):
+        parts = []
+        for name, lines in rendered.items():
+            line = lines[i] if i < len(lines) else ""
+            parts.append(line.ljust(widths[name]))
+        body_lines.append("   ".join(parts))
+    out = [header, "-" * len(header)] + body_lines
+    if title:
+        out.insert(0, title)
+    return "\n".join(out)

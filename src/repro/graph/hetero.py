@@ -1,0 +1,107 @@
+"""Generic heterogeneous graph container.
+
+A :class:`HeteroGraph` holds typed node sets with feature matrices and
+typed relations stored as sparse operators — the minimal subset of DGL's
+heterograph the LHNN architecture needs.  Relations are directed:
+``("gnet", "to", "gcell")`` is the paper's ``G_nc`` and so on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.sparse import SparseMatrix
+
+__all__ = ["HeteroGraph"]
+
+
+class HeteroGraph:
+    """Typed nodes + typed sparse relations.
+
+    Node types map to feature arrays ``(num_nodes, dim)``; relations map a
+    (src_type, name, dst_type) triple to a :class:`SparseMatrix` of shape
+    ``(num_dst, num_src)`` so that ``op @ src_features`` aggregates
+    messages onto destination nodes.
+    """
+
+    def __init__(self) -> None:
+        self._num_nodes: dict[str, int] = {}
+        self._features: dict[str, np.ndarray] = {}
+        self._relations: dict[tuple[str, str, str], SparseMatrix] = {}
+
+    # -- nodes -----------------------------------------------------------
+    def add_nodes(self, ntype: str, count: int,
+                  features: np.ndarray | None = None) -> None:
+        """Register ``count`` nodes of ``ntype`` with optional features."""
+        if ntype in self._num_nodes:
+            raise ValueError(f"node type {ntype!r} already present")
+        if count < 0:
+            raise ValueError("node count must be non-negative")
+        self._num_nodes[ntype] = count
+        if features is not None:
+            self.set_features(ntype, features)
+
+    def num_nodes(self, ntype: str) -> int:
+        """Number of nodes of ``ntype``."""
+        return self._num_nodes[ntype]
+
+    @property
+    def node_types(self) -> list[str]:
+        """All registered node types."""
+        return list(self._num_nodes)
+
+    def set_features(self, ntype: str, features: np.ndarray) -> None:
+        """Attach a feature matrix to a node type (rows = nodes)."""
+        if ntype not in self._num_nodes:
+            raise KeyError(f"unknown node type {ntype!r}")
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[0] != self._num_nodes[ntype]:
+            raise ValueError(
+                f"{ntype}: feature rows {features.shape[0]} != "
+                f"node count {self._num_nodes[ntype]}")
+        self._features[ntype] = features
+
+    def features(self, ntype: str) -> np.ndarray:
+        """Feature matrix of ``ntype``."""
+        return self._features[ntype]
+
+    # -- relations ---------------------------------------------------------
+    def add_relation(self, src: str, name: str, dst: str,
+                     operator: SparseMatrix) -> None:
+        """Register a directed relation with aggregation operator.
+
+        ``operator`` must have shape ``(num_dst_nodes, num_src_nodes)``.
+        """
+        for ntype in (src, dst):
+            if ntype not in self._num_nodes:
+                raise KeyError(f"unknown node type {ntype!r}")
+        expect = (self._num_nodes[dst], self._num_nodes[src])
+        if operator.shape != expect:
+            raise ValueError(
+                f"relation {(src, name, dst)}: operator shape "
+                f"{operator.shape} != {expect}")
+        self._relations[(src, name, dst)] = operator
+
+    def relation(self, src: str, name: str, dst: str) -> SparseMatrix:
+        """Fetch a relation operator."""
+        return self._relations[(src, name, dst)]
+
+    def has_relation(self, src: str, name: str, dst: str) -> bool:
+        """Whether a relation is registered."""
+        return (src, name, dst) in self._relations
+
+    @property
+    def relation_keys(self) -> list[tuple[str, str, str]]:
+        """All (src, name, dst) relation triples."""
+        return list(self._relations)
+
+    # -- schema ------------------------------------------------------------
+    def schema(self) -> dict:
+        """Summary of node types and relations (paper Figure 2(d) schema)."""
+        return {
+            "nodes": dict(self._num_nodes),
+            "relations": {
+                f"{s} -[{n}]-> {d}": self._relations[(s, n, d)].nnz
+                for (s, n, d) in self._relations
+            },
+        }

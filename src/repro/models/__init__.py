@@ -1,0 +1,25 @@
+"""``repro.models`` — LHNN and the paper's three comparison baselines.
+
+:class:`~repro.models.lhnn.LHNN` (the contribution),
+:class:`~repro.models.mlp_baseline.MLPBaseline` (local features only),
+:class:`~repro.models.unet.UNet` and :class:`~repro.models.pix2pix.Pix2Pix`
+(geometric-receptive-field CNNs).
+"""
+
+from .blocks import FeatureGenBlock, HyperMPBlock, LatticeMPBlock
+from .lhnn import LHNN, LHNNConfig, LHNNOutput
+from .mlp_baseline import MLPBaseline
+from .unet import UNet, DoubleConv
+from .pix2pix import Pix2Pix, PatchDiscriminator
+from .attention import EdgeList, GATLayer, segment_softmax
+from .related import CongestionNet, GridSAGE, SAGELayer
+
+__all__ = [
+    "FeatureGenBlock", "HyperMPBlock", "LatticeMPBlock",
+    "LHNN", "LHNNConfig", "LHNNOutput",
+    "MLPBaseline",
+    "UNet", "DoubleConv",
+    "Pix2Pix", "PatchDiscriminator",
+    "EdgeList", "GATLayer", "segment_softmax",
+    "CongestionNet", "GridSAGE", "SAGELayer",
+]

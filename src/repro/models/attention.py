@@ -1,0 +1,109 @@
+"""Graph attention (GAT) machinery on edge lists.
+
+Built entirely from the existing autograd primitives: differentiable
+gather (``Tensor.__getitem__``) plus sparse scatter-sum
+(:func:`~repro.nn.sparse.spmm` against a one-hot destination matrix).
+Used by the CongestionNet-style baseline (Kirby et al., VLSI-SoC 2019)
+referenced in the paper's related work (§2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..nn import functional as F
+from ..nn.layers import Linear, Module, Parameter
+from ..nn import init as init_mod
+from ..nn.sparse import SparseMatrix, spmm
+from ..nn.tensor import Tensor
+
+__all__ = ["EdgeList", "segment_softmax", "GATLayer"]
+
+
+class EdgeList:
+    """A directed edge list with a cached scatter operator.
+
+    ``src[k] → dst[k]``; ``scatter`` is the (num_nodes × num_edges)
+    one-hot matrix such that ``scatter @ edge_values`` sums edge values
+    onto destination nodes.
+    """
+
+    def __init__(self, src: np.ndarray, dst: np.ndarray, num_nodes: int):
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        if len(self.src) != len(self.dst):
+            raise ValueError("src/dst length mismatch")
+        if len(self.src) and (self.src.min() < 0
+                              or max(self.src.max(), self.dst.max())
+                              >= num_nodes):
+            raise ValueError("edge endpoint out of range")
+        self.num_nodes = num_nodes
+        ones = np.ones(len(self.dst))
+        self.scatter = SparseMatrix(sp.coo_matrix(
+            (ones, (self.dst, np.arange(len(self.dst)))),
+            shape=(num_nodes, len(self.dst))).tocsr())
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return len(self.src)
+
+    @staticmethod
+    def with_self_loops(src, dst, num_nodes: int) -> "EdgeList":
+        """Edge list augmented with one self-loop per node (GAT convention)."""
+        loop = np.arange(num_nodes, dtype=np.int64)
+        return EdgeList(np.concatenate([np.asarray(src, dtype=np.int64), loop]),
+                        np.concatenate([np.asarray(dst, dtype=np.int64), loop]),
+                        num_nodes)
+
+
+def segment_softmax(scores: Tensor, edges: EdgeList) -> Tensor:
+    """Softmax of per-edge scores, normalised per destination node.
+
+    Numerically stabilised by subtracting each destination's max score
+    (a constant w.r.t. the graph, so it does not perturb gradients).
+    """
+    smax = np.full(edges.num_nodes, -np.inf)
+    np.maximum.at(smax, edges.dst, scores.data.reshape(-1))
+    smax[~np.isfinite(smax)] = 0.0
+    shifted = scores - Tensor(smax[edges.dst].reshape(scores.shape))
+    ex = shifted.exp()
+    denom = spmm(edges.scatter, ex.reshape(-1, 1))     # (num_nodes, 1)
+    denom_per_edge = denom[edges.dst]                  # differentiable gather
+    return ex / (denom_per_edge.reshape(ex.shape) + 1e-16)
+
+
+class GATLayer(Module):
+    """Single-head graph attention layer (Veličković et al., 2018).
+
+    ``h'_i = act( Σ_j α_ij · W h_j )`` with
+    ``α_ij = softmax_j( leakyrelu(a_s · W h_j + a_d · W h_i) )`` over the
+    in-neighbours *j* of *i* (self-loops included by the caller).
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 negative_slope: float = 0.2, activation: str = "relu"):
+        super().__init__()
+        self.w = Linear(in_dim, out_dim, rng, bias=False)
+        self.attn_src = Parameter(init_mod.xavier_uniform((out_dim, 1), rng))
+        self.attn_dst = Parameter(init_mod.xavier_uniform((out_dim, 1), rng))
+        self.bias = Parameter(np.zeros(out_dim))
+        self.negative_slope = negative_slope
+        self.activation = activation
+
+    def forward(self, x: Tensor, edges: EdgeList) -> Tensor:
+        h = self.w(x)                                   # (N, out)
+        score_src = (h @ self.attn_src)[edges.src]      # (E, 1)
+        score_dst = (h @ self.attn_dst)[edges.dst]      # (E, 1)
+        scores = (score_src + score_dst).leaky_relu(self.negative_slope)
+        alpha = segment_softmax(scores.reshape(-1), edges)   # (E,)
+        messages = h[edges.src] * alpha.reshape(-1, 1)       # (E, out)
+        out = spmm(edges.scatter, messages) + self.bias
+        if self.activation == "relu":
+            out = F.relu(out)
+        elif self.activation == "identity":
+            pass
+        else:
+            raise ValueError(f"unsupported activation {self.activation!r}")
+        return out

@@ -1,0 +1,127 @@
+"""LHNN building blocks (paper §4, Figure 3).
+
+Three block types compose the architecture:
+
+* :class:`FeatureGenBlock` — Eq. 1–2: residual MLPs transform raw G-cell /
+  G-net features; G-net features are sum-aggregated onto G-cells through
+  ``G_nc = H`` and fused by a linear layer.  This is the learnable analogue
+  of crafted-feature generation (§3.2).
+* :class:`HyperMPBlock` — topological message passing: G-cell → G-net via
+  ``G_cn = B⁻¹Hᵀ`` then G-net → G-cell via the mean-normalised ``D⁻¹H``,
+  each half fusing with the FeatureGen embedding and adding a residual
+  path from the previous layer.
+* :class:`LatticeMPBlock` — geometric message passing over ``Ā = P⁻¹A``
+  with a skip connection.
+
+Each block takes an ``edges_enabled`` flag implementing the Table-3
+ablations: when False the aggregation result is replaced by zeros while
+every linear/residual layer is kept, "to keep the depth and parameter
+number of the model approximately the same" (paper §5.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Linear, Module, ResidualMLP
+from ..nn.sparse import SparseMatrix, spmm
+from ..nn.tensor import Tensor
+
+__all__ = ["FeatureGenBlock", "HyperMPBlock", "LatticeMPBlock"]
+
+
+def _aggregate(op: SparseMatrix, x: Tensor, enabled: bool) -> Tensor:
+    """Relation aggregation, or a zero message when edges are ablated."""
+    if enabled:
+        return spmm(op, x)
+    return Tensor(np.zeros((op.shape[0], x.shape[-1])))
+
+
+class FeatureGenBlock(Module):
+    """Feature generation block (Eq. 1–2).
+
+    ``V_c^1 = φ_c( f_c(V_c^0) ∥ G_nc f_n(V_n^0) )``,
+    ``V_n^1 = φ_n( f_n(V_n^0) )``.
+    """
+
+    def __init__(self, cell_in: int, net_in: int, hidden: int,
+                 rng: np.random.Generator, edges_enabled: bool = True):
+        super().__init__()
+        self.f_c = ResidualMLP(cell_in, hidden, hidden, rng)
+        self.f_n = ResidualMLP(net_in, hidden, hidden, rng)
+        self.phi_c = Linear(2 * hidden, hidden, rng)
+        self.phi_n = Linear(hidden, hidden, rng)
+        self.edges_enabled = edges_enabled
+
+    def forward(self, vc0: Tensor, vn0: Tensor,
+                op_nc_sum: SparseMatrix) -> tuple[Tensor, Tensor]:
+        """Returns the initial embeddings ``(V_c^1, V_n^1)``."""
+        fc = self.f_c(vc0)
+        fn = self.f_n(vn0)
+        message = _aggregate(op_nc_sum, fn, self.edges_enabled)
+        vc1 = F.relu(self.phi_c(F.concat([fc, message], axis=-1)))
+        vn1 = F.relu(self.phi_n(fn))
+        return vc1, vn1
+
+
+class HyperMPBlock(Module):
+    """Hypergraph message-passing block (§4.2).
+
+    Alternates the two hyper relations:
+
+    1. *G-cell → G-net*: ``V_n^L = Lin( G_cn Res(V_c^{L-1}) ∥ V_n^1 )
+       + Res(V_n^{L-1})``
+    2. *G-net → G-cell* (symmetric): ``V_c^L = Lin( G_nc Res(V_n^L) ∥
+       V_c^1 ) + Res(V_c^{L-1})``
+    """
+
+    def __init__(self, hidden: int, rng: np.random.Generator,
+                 edges_enabled: bool = True):
+        super().__init__()
+        # G-cell → G-net half
+        self.res_c_src = ResidualMLP(hidden, hidden, hidden, rng)
+        self.res_n_skip = ResidualMLP(hidden, hidden, hidden, rng)
+        self.fuse_n = Linear(2 * hidden, hidden, rng)
+        # G-net → G-cell half
+        self.res_n_src = ResidualMLP(hidden, hidden, hidden, rng)
+        self.res_c_skip = ResidualMLP(hidden, hidden, hidden, rng)
+        self.fuse_c = Linear(2 * hidden, hidden, rng)
+        self.edges_enabled = edges_enabled
+
+    def forward(self, vc_prev: Tensor, vn_prev: Tensor,
+                vc1: Tensor, vn1: Tensor,
+                op_cn_mean: SparseMatrix,
+                op_nc_mean: SparseMatrix) -> tuple[Tensor, Tensor]:
+        """Returns updated ``(V_c^L, V_n^L)``."""
+        # G-cell → G-net
+        msg_n = _aggregate(op_cn_mean, self.res_c_src(vc_prev),
+                           self.edges_enabled)
+        vn = (F.relu(self.fuse_n(F.concat([msg_n, vn1], axis=-1)))
+              + self.res_n_skip(vn_prev))
+        # G-net → G-cell (symmetric, using the freshly updated V_n)
+        msg_c = _aggregate(op_nc_mean, self.res_n_src(vn),
+                           self.edges_enabled)
+        vc = (F.relu(self.fuse_c(F.concat([msg_c, vc1], axis=-1)))
+              + self.res_c_skip(vc_prev))
+        return vc, vn
+
+
+class LatticeMPBlock(Module):
+    """Lattice message-passing block (§4.3).
+
+    ``V_c^L = Lin( Ā Res(V_c^{L-1}) ) + V_c^{L-1}`` — geometric
+    aggregation over the 4-neighbour lattice with a skip connection.
+    """
+
+    def __init__(self, hidden: int, rng: np.random.Generator,
+                 edges_enabled: bool = True):
+        super().__init__()
+        self.res = ResidualMLP(hidden, hidden, hidden, rng)
+        self.lin = Linear(hidden, hidden, rng)
+        self.edges_enabled = edges_enabled
+
+    def forward(self, vc_prev: Tensor, op_cc_mean: SparseMatrix) -> Tensor:
+        """Returns the updated G-cell embedding."""
+        msg = _aggregate(op_cc_mean, self.res(vc_prev), self.edges_enabled)
+        return F.relu(self.lin(msg)) + vc_prev

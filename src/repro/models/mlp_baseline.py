@@ -1,0 +1,41 @@
+"""4-layer residual MLP baseline (paper §5.2).
+
+The "vanilla" baseline assessing how far purely *local* crafted features
+go: a per-G-cell MLP with residual connections, same hidden width as LHNN,
+no message passing at all.  It sees only the 4 G-cell feature channels of
+the G-cell itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Linear, Module, ResidualMLP
+from ..nn.tensor import Tensor
+
+__all__ = ["MLPBaseline"]
+
+
+class MLPBaseline(Module):
+    """4-layer residual MLP: per-G-cell congestion classifier.
+
+    Architecture: Linear(in→h) → 3 × ResidualMLP(h) → Linear(h→channels)
+    with a sigmoid output, trained with the same γ-weighted BCE as LHNN.
+    """
+
+    def __init__(self, in_features: int = 4, hidden: int = 32,
+                 channels: int = 1, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input = Linear(in_features, hidden, rng)
+        self.blocks = [ResidualMLP(hidden, hidden, hidden, rng)
+                       for _ in range(3)]
+        self.head = Linear(hidden, channels, rng)
+
+    def forward(self, features: Tensor) -> Tensor:
+        """Map ``(num_gcells, in_features)`` to congestion probabilities."""
+        x = F.relu(self.input(features))
+        for block in self.blocks:
+            x = F.relu(block(x))
+        return F.sigmoid(self.head(x))

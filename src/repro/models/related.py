@@ -1,0 +1,102 @@
+"""Related-work GNN baselines from the paper's §2.2.
+
+Neither model appears in the paper's Table 2, but both are named as the
+prior art whose limitations motivate the LH-graph:
+
+* :class:`CongestionNet` (Kirby et al. [10]) — GAT over the *cell* graph
+  (cells = nodes, net connectivity = edges): purely topological, no
+  geometric reasoning; per-cell outputs are scattered onto G-cells for
+  evaluation.
+* :class:`GridSAGE` (Chen et al. [11]) — GraphSAGE over the G-cell
+  *lattice* graph: purely geometric, no netlist topology beyond the
+  crafted input features.
+
+The extension bench ``benchmarks/test_related_models.py`` scores them
+against LHNN, demonstrating the paper's argument that either space alone
+is insufficient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.lhgraph import LHGraph
+from ..nn import functional as F
+from ..nn.layers import Linear, Module
+from ..nn.sparse import SparseMatrix, spmm
+from ..nn.tensor import Tensor
+from .attention import EdgeList, GATLayer
+
+__all__ = ["CongestionNet", "GridSAGE", "SAGELayer"]
+
+
+class CongestionNet(Module):
+    """GAT stack on the cell graph (CongestionNet-style).
+
+    Input: per-cell features; output: per-cell congestion probability.
+    Use :func:`repro.circuit.cellgraph.cells_to_gcells` to compare with
+    grid-level labels.
+    """
+
+    def __init__(self, in_features: int, hidden: int,
+                 rng: np.random.Generator, num_layers: int = 3):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one GAT layer")
+        dims = [in_features] + [hidden] * num_layers
+        self.layers = [GATLayer(dims[i], dims[i + 1], rng)
+                       for i in range(num_layers)]
+        self.head = Linear(hidden, 1, rng)
+
+    def forward(self, features: Tensor, edges: EdgeList) -> Tensor:
+        x = features
+        for layer in self.layers:
+            x = layer(x, edges)
+        return F.sigmoid(self.head(x))
+
+
+class SAGELayer(Module):
+    """GraphSAGE layer with mean aggregation.
+
+    ``h' = act( W_self h + W_neigh (Ā h) )`` where ``Ā`` is the
+    row-normalised adjacency.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 activation: str = "relu"):
+        super().__init__()
+        self.w_self = Linear(in_dim, out_dim, rng)
+        self.w_neigh = Linear(in_dim, out_dim, rng, bias=False)
+        self.activation = activation
+
+    def forward(self, x: Tensor, adjacency: SparseMatrix) -> Tensor:
+        out = self.w_self(x) + self.w_neigh(spmm(adjacency, x))
+        if self.activation == "relu":
+            out = F.relu(out)
+        return out
+
+
+class GridSAGE(Module):
+    """GraphSAGE over the G-cell lattice (grid-graph congestion model).
+
+    Consumes the same 4-channel crafted G-cell features as LHNN but can
+    only propagate geometrically — the comparison point for the paper's
+    claim that lattice-only receptive fields miss netlist-induced
+    interactions.
+    """
+
+    def __init__(self, in_features: int = 4, hidden: int = 32,
+                 channels: int = 1, num_layers: int = 3,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        dims = [in_features] + [hidden] * num_layers
+        self.layers = [SAGELayer(dims[i], dims[i + 1], rng)
+                       for i in range(num_layers)]
+        self.head = Linear(hidden, channels, rng)
+
+    def forward(self, graph: LHGraph, vc: Tensor | None = None) -> Tensor:
+        x = vc if vc is not None else Tensor(graph.vc)
+        for layer in self.layers:
+            x = layer(x, graph.op_cc_mean)
+        return F.sigmoid(self.head(x))

@@ -1,0 +1,32 @@
+"""``repro.nn`` — a compact reverse-mode autodiff library on numpy.
+
+This subpackage replaces PyTorch/DGL in the reproduction: it provides the
+:class:`~repro.nn.tensor.Tensor` autograd type, dense and convolutional
+layers, sparse message-passing primitives, optimisers and the paper's loss
+functions.  Every model in :mod:`repro.models` (LHNN, MLP, U-Net, Pix2Pix)
+is built exclusively from these pieces.
+"""
+
+from .tensor import Tensor, as_tensor, no_grad, is_grad_enabled
+from . import functional
+from .layers import (Parameter, Module, Linear, Identity, Activation,
+                     Sequential, MLP, ResidualMLP, LayerNorm, Dropout)
+from .conv import (Conv2d, ConvTranspose2d, MaxPool2d, AvgPool2d,
+                   BatchNorm2d, UpsampleNearest2d)
+from .sparse import SparseMatrix, spmm, row_normalize, degree_vector
+from .optim import SGD, Adam, clip_grad_norm, StepLR, CosineLR
+from .losses import (MSELoss, BCELoss, GammaWeightedBCE, JointLoss,
+                     GANLoss, L1Loss)
+from .serialize import save_checkpoint, load_checkpoint, CheckpointError
+
+__all__ = [
+    "Tensor", "as_tensor", "no_grad", "is_grad_enabled", "functional",
+    "Parameter", "Module", "Linear", "Identity", "Activation", "Sequential",
+    "MLP", "ResidualMLP", "LayerNorm", "Dropout",
+    "Conv2d", "ConvTranspose2d", "MaxPool2d", "AvgPool2d", "BatchNorm2d",
+    "UpsampleNearest2d",
+    "SparseMatrix", "spmm", "row_normalize", "degree_vector",
+    "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineLR",
+    "MSELoss", "BCELoss", "GammaWeightedBCE", "JointLoss", "GANLoss", "L1Loss",
+    "save_checkpoint", "load_checkpoint", "CheckpointError",
+]

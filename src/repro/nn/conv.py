@@ -1,0 +1,285 @@
+"""Convolutional layers for the CNN baselines (U-Net, Pix2Pix).
+
+All tensors use the NCHW layout.  Convolutions are computed via the classic
+im2col lowering (patch extraction → one big matmul) which keeps the autograd
+rules simple: the backward pass is col2im plus two matmuls.
+
+These layers exist so the paper's baselines — a U-Net and a Pix2Pix cGAN —
+can be trained on the same numpy autograd engine as LHNN, replacing the
+"top PyTorch implementations in Github" the authors used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as init_mod
+from .layers import Module, Parameter
+from .tensor import Tensor, as_tensor
+
+__all__ = ["im2col", "col2im", "Conv2d", "ConvTranspose2d", "MaxPool2d",
+           "AvgPool2d", "BatchNorm2d", "UpsampleNearest2d", "conv_output_size"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def _patch_indices(channels: int, height: int, width: int, kh: int, kw: int,
+                   stride: int, pad: int):
+    """Index arrays mapping a padded image to its im2col patch matrix."""
+    out_h = conv_output_size(height, kh, stride, pad)
+    out_w = conv_output_size(width, kw, stride, pad)
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Extract sliding patches: (N,C,H,W) → (N, C*kh*kw, out_h*out_w)."""
+    n, c, h, w = x.shape
+    x_pad = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x
+    k, i, j, _, _ = _patch_indices(c, h, w, kh, kw, stride, pad)
+    return x_pad[:, k, i, j]
+
+
+def col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int],
+           kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add patches back into an image."""
+    n, c, h, w = x_shape
+    k, i, j, _, _ = _patch_indices(c, h, w, kh, kw, stride, pad)
+    x_pad = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    np.add.at(x_pad, (slice(None), k, i, j), cols)
+    if pad:
+        return x_pad[:, :, pad:-pad, pad:-pad]
+    return x_pad
+
+
+class Conv2d(Module):
+    """2-D convolution ``(N, C_in, H, W) → (N, C_out, H', W')``."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 rng: np.random.Generator, stride: int = 1, padding: int = 0,
+                 bias: bool = True):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init_mod.kaiming_normal(shape, rng))
+        self.bias = Parameter(init_mod.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        n, c, h, w = x.shape
+        kh = kw = self.kernel_size
+        stride, pad = self.stride, self.padding
+        out_h = conv_output_size(h, kh, stride, pad)
+        out_w = conv_output_size(w, kw, stride, pad)
+
+        cols = im2col(x.data, kh, kw, stride, pad)          # (N, CKK, L)
+        w2d = self.weight.data.reshape(self.out_channels, -1)
+        out = np.matmul(w2d, cols)                          # (N, out_c, L)
+        out = out.reshape(n, self.out_channels, out_h, out_w)
+        if self.bias is not None:
+            out = out + self.bias.data.reshape(1, -1, 1, 1)
+
+        weight, bias_param = self.weight, self.bias
+        x_shape = x.shape
+
+        def backward(g):
+            g2d = g.reshape(n, self.out_channels, -1)       # (N, out_c, L)
+            grad_w = np.einsum("nol,nkl->ok", g2d, cols).reshape(weight.shape)
+            grad_cols = np.matmul(w2d.T, g2d)               # (N, CKK, L)
+            grad_x = col2im(grad_cols, x_shape, kh, kw, stride, pad)
+            grads = [grad_x, grad_w]
+            if bias_param is not None:
+                grads.append(g.sum(axis=(0, 2, 3)))
+            return tuple(grads)
+
+        parents = (x, weight) if self.bias is None else (x, weight, self.bias)
+        return Tensor._make(out, parents, backward)
+
+
+class ConvTranspose2d(Module):
+    """2-D transposed convolution (fractionally-strided), for decoders.
+
+    Output size along each spatial axis is ``stride*(in-1) + kernel - 2*pad``.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 rng: np.random.Generator, stride: int = 1, padding: int = 0,
+                 bias: bool = True):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (in_channels, out_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init_mod.kaiming_normal(shape, rng))
+        self.bias = Parameter(init_mod.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        stride, pad = self.stride, self.padding
+        out_h = stride * (h - 1) + k - 2 * pad
+        out_w = stride * (w - 1) + k - 2 * pad
+        out_shape = (n, self.out_channels, out_h, out_w)
+
+        x2d = x.data.reshape(n, c, h * w)                    # (N, in_c, L)
+        w2d = self.weight.data.reshape(c, -1)                # (in_c, out_c*k*k)
+        cols = np.matmul(w2d.T, x2d)                         # (N, out_c*k*k, L)
+        out = col2im(cols, out_shape, k, k, stride, pad)
+        if self.bias is not None:
+            out = out + self.bias.data.reshape(1, -1, 1, 1)
+
+        weight, bias_param = self.weight, self.bias
+
+        def backward(g):
+            g_cols = im2col(g, k, k, stride, pad)            # (N, out_c*k*k, L)
+            grad_x = np.matmul(w2d, g_cols).reshape(n, c, h, w)
+            grad_w = np.einsum("nil,nkl->ik", x2d, g_cols).reshape(weight.shape)
+            grads = [grad_x, grad_w]
+            if bias_param is not None:
+                grads.append(g.sum(axis=(0, 2, 3)))
+            return tuple(grads)
+
+        parents = (x, weight) if self.bias is None else (x, weight, self.bias)
+        return Tensor._make(out, parents, backward)
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling (kernel == stride); spatial dims must divide."""
+
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        self.k = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        n, c, h, w = x.shape
+        k = self.k
+        if h % k or w % k:
+            raise ValueError(f"spatial dims {(h, w)} not divisible by pool {k}")
+        blocks = x.data.reshape(n, c, h // k, k, w // k, k)
+        out = blocks.max(axis=(3, 5))
+        # Break ties: keep only the first max per block so gradients are not
+        # double-counted.
+        flat = blocks.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h // k, w // k, k * k)
+        first = np.zeros_like(flat)
+        idx = flat.argmax(axis=-1)
+        np.put_along_axis(first, idx[..., None], 1.0, axis=-1)
+        mask = first.reshape(n, c, h // k, w // k, k, k)
+
+        def backward(g):
+            g_blocks = mask * g[:, :, :, :, None, None]
+            # (n, c, h//k, w//k, k, k) → (n, c, h, w)
+            g_full = g_blocks.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
+            return (g_full,)
+
+        return Tensor._make(out, (x,), backward)
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        self.k = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        n, c, h, w = x.shape
+        k = self.k
+        if h % k or w % k:
+            raise ValueError(f"spatial dims {(h, w)} not divisible by pool {k}")
+        out = x.data.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+        def backward(g):
+            g_full = np.repeat(np.repeat(g, k, axis=2), k, axis=3) / (k * k)
+            return (g_full,)
+
+        return Tensor._make(out, (x,), backward)
+
+
+class UpsampleNearest2d(Module):
+    """Nearest-neighbour upsampling by an integer factor."""
+
+    def __init__(self, scale: int = 2):
+        super().__init__()
+        self.scale = scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        s = self.scale
+        out = np.repeat(np.repeat(x.data, s, axis=2), s, axis=3)
+        n, c, h, w = x.shape
+
+        def backward(g):
+            return (g.reshape(n, c, h, s, w, s).sum(axis=(3, 5)),)
+
+        return Tensor._make(out, (x,), backward)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (N, H, W) per channel with running stats."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.eps = eps
+        self.momentum = momentum
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        axes = (0, 2, 3)
+        if self.training:
+            mean = x.data.mean(axis=axes)
+            var = x.data.var(axis=axes)
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * mean)
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * var)
+        else:
+            mean, var = self.running_mean, self.running_var
+
+        n, c, h, w = x.shape
+        count = n * h * w
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x.data - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+        out = (self.gamma.data.reshape(1, -1, 1, 1) * x_hat
+               + self.beta.data.reshape(1, -1, 1, 1))
+
+        gamma, beta = self.gamma, self.beta
+        training = self.training
+
+        def backward(g):
+            grad_gamma = (g * x_hat).sum(axis=axes)
+            grad_beta = g.sum(axis=axes)
+            gsc = g * gamma.data.reshape(1, -1, 1, 1)
+            if training:
+                # Full batch-norm backward (mean/var depend on x).
+                sum_g = gsc.sum(axis=axes).reshape(1, -1, 1, 1)
+                sum_gx = (gsc * x_hat).sum(axis=axes).reshape(1, -1, 1, 1)
+                grad_x = (inv_std.reshape(1, -1, 1, 1) / count
+                          * (count * gsc - sum_g - x_hat * sum_gx))
+            else:
+                grad_x = gsc * inv_std.reshape(1, -1, 1, 1)
+            return (grad_x, grad_gamma, grad_beta)
+
+        return Tensor._make(out, (x, gamma, beta), backward)

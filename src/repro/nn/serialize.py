@@ -1,0 +1,71 @@
+"""Model checkpointing: save/load Module parameters as ``.npz`` archives.
+
+The autograd engine stores parameters as plain numpy arrays, so a
+checkpoint is just a compressed npz of the state dict plus a small JSON
+header describing the architecture for sanity checks at load time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError"]
+
+_HEADER_KEY = "__repro_header__"
+
+
+class CheckpointError(RuntimeError):
+    """Raised when a checkpoint is malformed or mismatches the model."""
+
+
+def save_checkpoint(model: Module, path: str,
+                    metadata: dict | None = None) -> str:
+    """Write ``model``'s parameters (and optional metadata) to ``path``.
+
+    The file is a standard ``.npz``; parameter names become array keys
+    (dots replaced since npz keys allow them as-is) and a JSON header
+    records parameter count and user metadata.
+    """
+    state = model.state_dict()
+    header = {
+        "format": "repro-checkpoint-v1",
+        "num_parameters": int(model.num_parameters()),
+        "parameter_names": sorted(state),
+        "metadata": metadata or {},
+    }
+    payload = dict(state)
+    payload[_HEADER_KEY] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    # numpy appends .npz when missing; normalise the reported path.
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_checkpoint(model: Module, path: str) -> dict:
+    """Load parameters from ``path`` into ``model``; returns the metadata.
+
+    Raises :class:`CheckpointError` on missing header, parameter-name
+    mismatch or shape mismatch (delegated to ``load_state_dict``).
+    """
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        if _HEADER_KEY not in archive:
+            raise CheckpointError(f"{path}: not a repro checkpoint")
+        header = json.loads(bytes(archive[_HEADER_KEY].tobytes()).decode())
+        if header.get("format") != "repro-checkpoint-v1":
+            raise CheckpointError(f"{path}: unknown format "
+                                  f"{header.get('format')!r}")
+        state = {k: archive[k] for k in archive.files if k != _HEADER_KEY}
+    try:
+        model.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(f"{path}: {exc}") from exc
+    return header.get("metadata", {})

@@ -1,0 +1,104 @@
+"""Sparse message-passing primitives.
+
+The LH-graph's relation operators — ``G_nc = H`` (G-net → G-cell),
+``G_cn = B⁻¹Hᵀ`` (G-cell → G-net) and ``Ā = P⁻¹A`` (lattice) — are large,
+fixed sparse matrices.  This module wraps ``scipy.sparse`` CSR matrices in
+a small :class:`SparseMatrix` type and provides :func:`spmm`, a
+differentiable sparse × dense product: this single op is the entire
+"message passing" mechanism DGL provided to the original implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["SparseMatrix", "spmm", "row_normalize", "degree_vector"]
+
+
+class SparseMatrix:
+    """Immutable CSR sparse matrix used as a graph operator.
+
+    The matrix never carries gradients — graph structure is data, not a
+    parameter — but products against it are differentiable in the dense
+    operand.
+    """
+
+    def __init__(self, matrix):
+        if not sp.issparse(matrix):
+            matrix = sp.csr_matrix(np.asarray(matrix))
+        self.mat = matrix.tocsr().astype(np.float64)
+        self._transpose_cache: sp.csr_matrix | None = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, cols) of the operator."""
+        return self.mat.shape
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return self.mat.nnz
+
+    @property
+    def T(self) -> sp.csr_matrix:
+        """Cached CSR transpose (used by the backward pass)."""
+        if self._transpose_cache is None:
+            self._transpose_cache = self.mat.T.tocsr()
+        return self._transpose_cache
+
+    def toarray(self) -> np.ndarray:
+        """Densify (tests / tiny graphs only)."""
+        return self.mat.toarray()
+
+    def row_sums(self) -> np.ndarray:
+        """Vector of per-row sums (degrees for 0/1 adjacency)."""
+        return np.asarray(self.mat.sum(axis=1)).reshape(-1)
+
+    def col_sums(self) -> np.ndarray:
+        """Vector of per-column sums."""
+        return np.asarray(self.mat.sum(axis=0)).reshape(-1)
+
+    @staticmethod
+    def from_coo(rows, cols, vals, shape: tuple[int, int]) -> "SparseMatrix":
+        """Build from coordinate lists (duplicates are summed)."""
+        m = sp.coo_matrix((np.asarray(vals, dtype=np.float64),
+                           (np.asarray(rows), np.asarray(cols))), shape=shape)
+        return SparseMatrix(m.tocsr())
+
+
+def degree_vector(adj: SparseMatrix, axis: int = 1) -> np.ndarray:
+    """Degree vector of a 0/1 adjacency: axis=1 → row degrees (paper's D, P);
+    axis=0 → column degrees (paper's B)."""
+    return adj.row_sums() if axis == 1 else adj.col_sums()
+
+
+def row_normalize(adj: SparseMatrix) -> SparseMatrix:
+    """Return ``Deg⁻¹ · adj`` with zero-degree rows left at zero.
+
+    This realises the paper's normalised operators ``B⁻¹Hᵀ`` and ``P⁻¹A``:
+    the aggregation becomes a *mean* over incident neighbours.
+    """
+    deg = adj.row_sums()
+    inv = np.where(deg > 0, 1.0 / np.maximum(deg, 1e-12), 0.0)
+    d_inv = sp.diags(inv)
+    return SparseMatrix((d_inv @ adj.mat).tocsr())
+
+
+def spmm(a: SparseMatrix, x: Tensor) -> Tensor:
+    """Differentiable sparse @ dense product ``a @ x``.
+
+    Forward: ``y = A x`` (CSR matvec/matmat).  Backward: ``dx = Aᵀ dy``.
+    The sparse operand is constant.
+    """
+    if not isinstance(a, SparseMatrix):
+        a = SparseMatrix(a)
+    x = as_tensor(x)
+    data = a.mat @ x.data
+
+    def backward(g):
+        return (a.T @ g,)
+
+    return Tensor._make(np.asarray(data), (x,), backward)

@@ -1,0 +1,109 @@
+"""Detailed placement: greedy same-row cell swapping.
+
+After legalisation, a detailed placer polishes wirelength by local moves
+that preserve legality.  We implement the classic pass: for each row,
+consider swapping adjacent cell pairs (equal-width swap is always legal;
+unequal widths re-pack the pair's span) and keep swaps that reduce HPWL.
+Iterate until a pass makes no improvement or the pass budget is spent.
+
+This is an optional refinement stage — the label pipeline is already
+sound without it — exercised by tests and available to examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuit.design import Design
+from .hpwl import hpwl
+
+__all__ = ["DetailedResult", "detailed_place"]
+
+
+@dataclass
+class DetailedResult:
+    """Outcome of the swap-refinement loop."""
+
+    hpwl_before: float
+    hpwl_after: float
+    swaps_applied: int
+    passes: int
+
+    @property
+    def improvement(self) -> float:
+        """Relative HPWL reduction (0.02 = 2 %)."""
+        if self.hpwl_before == 0:
+            return 0.0
+        return (self.hpwl_before - self.hpwl_after) / self.hpwl_before
+
+
+def _nets_of_cells(design: Design) -> list[list[int]]:
+    """For each cell, the list of nets incident to it."""
+    nets: list[list[int]] = [[] for _ in range(design.num_cells)]
+    for net in range(design.num_nets):
+        pins = design.net_pin_slice(net)
+        for cid in np.unique(design.pin_cell[pins.start:pins.stop]):
+            nets[int(cid)].append(net)
+    return nets
+
+
+def _nets_hpwl(design: Design, nets: list[int]) -> float:
+    """HPWL of a subset of nets at the current placement."""
+    if not nets:
+        return 0.0
+    px, py = design.pin_positions()
+    total = 0.0
+    for net in nets:
+        s = design.net_pin_slice(net)
+        if s.stop - s.start < 2:
+            continue
+        xs = px[s.start:s.stop]
+        ys = py[s.start:s.stop]
+        total += (xs.max() - xs.min()) + (ys.max() - ys.min())
+    return float(total)
+
+
+def detailed_place(design: Design, max_passes: int = 3) -> DetailedResult:
+    """Greedy adjacent-swap refinement in place.
+
+    Only movable cells on common rows are considered; fixed cells and
+    cells of different heights are skipped.
+    """
+    before = hpwl(design)
+    cell_nets = _nets_of_cells(design)
+
+    rows: dict[float, list[int]] = {}
+    for cid in np.flatnonzero(~design.cell_fixed):
+        rows.setdefault(round(float(design.cell_y[cid]), 6), []).append(cid)
+
+    swaps = 0
+    passes = 0
+    for _ in range(max_passes):
+        passes += 1
+        improved = False
+        for cells in rows.values():
+            cells.sort(key=lambda c: design.cell_x[c])
+            for i in range(len(cells) - 1):
+                a, b = cells[i], cells[i + 1]
+                if design.cell_h[a] != design.cell_h[b]:
+                    continue
+                nets = sorted(set(cell_nets[a]) | set(cell_nets[b]))
+                cost_before = _nets_hpwl(design, nets)
+                ax, bx = design.cell_x[a], design.cell_x[b]
+                # Swap: pack b at a's position, a after b.
+                design.cell_x[a] = ax + design.cell_w[b]
+                design.cell_x[b] = ax
+                cost_after = _nets_hpwl(design, nets)
+                if cost_after < cost_before - 1e-12:
+                    swaps += 1
+                    improved = True
+                    cells[i], cells[i + 1] = b, a
+                else:
+                    design.cell_x[a] = ax
+                    design.cell_x[b] = bx
+        if not improved:
+            break
+    return DetailedResult(hpwl_before=before, hpwl_after=hpwl(design),
+                          swaps_applied=swaps, passes=passes)

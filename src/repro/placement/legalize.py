@@ -1,0 +1,105 @@
+"""Row legalisation (Tetris-style greedy).
+
+After global placement and spreading, movable standard cells must sit on
+row grid positions without overlaps and away from macro blockages.  This
+greedy legaliser processes cells in x-order and packs each into the
+feasible row segment closest to its global position — the classic
+"Tetris" heuristic, adequate for label-generation purposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.design import Design
+
+__all__ = ["legalize", "overlap_count", "row_segments"]
+
+
+def row_segments(design: Design) -> list[list[tuple[float, float]]]:
+    """Free intervals per row after subtracting fixed-cell blockages.
+
+    Returns ``segments[row] = [(xl0, xh0), ...]`` sorted by x.
+    """
+    xl, yl, xh, yh = design.die
+    num_rows = max(1, int(round((yh - yl) / design.row_height)))
+    segments: list[list[tuple[float, float]]] = [[(xl, xh)] for _ in range(num_rows)]
+    for i in np.flatnonzero(design.cell_fixed):
+        bx0, bx1 = design.cell_x[i], design.cell_x[i] + design.cell_w[i]
+        by0, by1 = design.cell_y[i], design.cell_y[i] + design.cell_h[i]
+        r0 = int(np.floor((by0 - yl) / design.row_height))
+        r1 = int(np.ceil((by1 - yl) / design.row_height)) - 1
+        for r in range(max(r0, 0), min(r1, num_rows - 1) + 1):
+            new_segs: list[tuple[float, float]] = []
+            for s0, s1 in segments[r]:
+                if bx1 <= s0 or bx0 >= s1:
+                    new_segs.append((s0, s1))
+                    continue
+                if bx0 > s0:
+                    new_segs.append((s0, bx0))
+                if bx1 < s1:
+                    new_segs.append((bx1, s1))
+            segments[r] = new_segs
+    return segments
+
+
+def legalize(design: Design) -> Design:
+    """Legalise movable cells onto rows in place (greedy Tetris packing).
+
+    Cells are processed left-to-right; each is placed in the row whose
+    remaining free cursor position minimises displacement from its global
+    location.  Falls back to the least-bad row when all rows are crowded.
+    """
+    xl, yl, xh, yh = design.die
+    num_rows = max(1, int(round((yh - yl) / design.row_height)))
+    segments = row_segments(design)
+    # cursor[r][s] = next free x in segment s of row r
+    cursors: list[list[float]] = [[s0 for s0, _ in segs] for segs in segments]
+
+    movable = np.flatnonzero(~design.cell_fixed)
+    order = movable[np.argsort(design.cell_x[movable])]
+    for cid in order:
+        w = design.cell_w[cid]
+        gx = design.cell_x[cid]
+        gy = design.cell_y[cid]
+        best = None  # (cost, row, seg, x)
+        for r in range(num_rows):
+            row_y = yl + r * design.row_height
+            dy = abs(row_y - gy)
+            for s, (s0, s1) in enumerate(segments[r]):
+                cur = cursors[r][s]
+                x = max(cur, min(gx, s1 - w))
+                if x + w > s1 + 1e-9:
+                    continue
+                cost = abs(x - gx) + dy
+                if best is None or cost < best[0]:
+                    best = (cost, r, s, x)
+        if best is None:
+            # Pathological overfill: stack at the die edge of nearest row.
+            r = int(np.clip(round((gy - yl) / design.row_height), 0, num_rows - 1))
+            design.cell_y[cid] = yl + r * design.row_height
+            design.cell_x[cid] = min(max(gx, xl), xh - w)
+            continue
+        _, r, s, x = best
+        design.cell_x[cid] = x
+        design.cell_y[cid] = yl + r * design.row_height
+        cursors[r][s] = x + w
+    return design
+
+
+def overlap_count(design: Design, tolerance: float = 1e-6) -> int:
+    """Number of overlapping movable-cell pairs within the same row.
+
+    Used by tests to verify legalisation; O(n log n) per row via sorting.
+    """
+    movable = np.flatnonzero(~design.cell_fixed)
+    rows: dict[float, list[int]] = {}
+    for cid in movable:
+        rows.setdefault(round(float(design.cell_y[cid]), 6), []).append(cid)
+    overlaps = 0
+    for cells in rows.values():
+        cells.sort(key=lambda c: design.cell_x[c])
+        for a, b in zip(cells, cells[1:]):
+            if design.cell_x[a] + design.cell_w[a] > design.cell_x[b] + tolerance:
+                overlaps += 1
+    return overlaps

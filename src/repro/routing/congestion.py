@@ -1,0 +1,103 @@
+"""Demand-map and congestion-map extraction.
+
+The paper's labels: after global routing, every G-cell gets a horizontal
+and a vertical **routing demand** value, and the binary **congestion map**
+marks G-cells whose demand exceeds the circuit's capacity (paper §5.1).
+
+We map edge usage to G-cell demand by averaging the usage of the G-cell's
+incident edges in each direction (boundary cells average their single
+incident edge), and derive capacity maps the same way so the comparison is
+consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .grid import RoutingGrid
+
+__all__ = ["CongestionMaps", "extract_maps", "congestion_rate"]
+
+
+@dataclass
+class CongestionMaps:
+    """Per-G-cell label maps produced by the router.
+
+    All arrays have shape ``(nx, ny)``.
+
+    Attributes
+    ----------
+    demand_h, demand_v:
+        Horizontal / vertical routing demand.
+    capacity_h, capacity_v:
+        Effective per-G-cell capacity (after blockage derating).
+    congestion_h, congestion_v:
+        Binary masks, ``demand > capacity`` per direction.
+    """
+
+    demand_h: np.ndarray
+    demand_v: np.ndarray
+    capacity_h: np.ndarray
+    capacity_v: np.ndarray
+    congestion_h: np.ndarray
+    congestion_v: np.ndarray
+
+    @property
+    def congestion_any(self) -> np.ndarray:
+        """Union of horizontal and vertical congestion."""
+        return self.congestion_h | self.congestion_v
+
+    def normalized_demand(self) -> tuple[np.ndarray, np.ndarray]:
+        """Demand divided by capacity (regression target scaling)."""
+        eps = 1e-9
+        return (self.demand_h / (self.capacity_h + eps),
+                self.demand_v / (self.capacity_v + eps))
+
+
+def _edge_to_cell(edge_vals: np.ndarray, axis: int, nx: int, ny: int) -> np.ndarray:
+    """Average incident edge values onto G-cells along ``axis``."""
+    out = np.zeros((nx, ny))
+    if axis == 0:  # horizontal edges: shape (nx-1, ny)
+        counts = np.zeros((nx, ny))
+        out[:-1, :] += edge_vals
+        counts[:-1, :] += 1
+        out[1:, :] += edge_vals
+        counts[1:, :] += 1
+    else:  # vertical edges: shape (nx, ny-1)
+        counts = np.zeros((nx, ny))
+        out[:, :-1] += edge_vals
+        counts[:, :-1] += 1
+        out[:, 1:] += edge_vals
+        counts[:, 1:] += 1
+    return out / np.maximum(counts, 1.0)
+
+
+def extract_maps(grid: RoutingGrid) -> CongestionMaps:
+    """Compute :class:`CongestionMaps` from a routed grid."""
+    nx, ny = grid.nx, grid.ny
+    demand_h = _edge_to_cell(grid.h_usage, 0, nx, ny)
+    demand_v = _edge_to_cell(grid.v_usage, 1, nx, ny)
+    capacity_h = _edge_to_cell(grid.h_capacity, 0, nx, ny)
+    capacity_v = _edge_to_cell(grid.v_capacity, 1, nx, ny)
+    congestion_h = demand_h > capacity_h
+    congestion_v = demand_v > capacity_v
+    return CongestionMaps(
+        demand_h=demand_h, demand_v=demand_v,
+        capacity_h=capacity_h, capacity_v=capacity_v,
+        congestion_h=congestion_h, congestion_v=congestion_v,
+    )
+
+
+def congestion_rate(maps: CongestionMaps, channel: str = "h") -> float:
+    """Fraction of congested G-cells for ``channel`` in {'h', 'v', 'any'}."""
+    if channel == "h":
+        mask = maps.congestion_h
+    elif channel == "v":
+        mask = maps.congestion_v
+    elif channel == "any":
+        mask = maps.congestion_any
+    else:
+        raise ValueError("channel must be 'h', 'v' or 'any'")
+    return float(mask.mean())

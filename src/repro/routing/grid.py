@@ -1,0 +1,156 @@
+"""Routing grid: G-cells, edge capacities and demand accumulation.
+
+The die is tessellated into ``nx × ny`` rectangular G-cells (the paper's
+grid cells).  Global routing happens on the grid graph whose vertices are
+G-cells and whose edges connect 4-neighbours; horizontal edges consume
+horizontal track capacity, vertical edges vertical capacity.  Macro
+blockages reduce the capacity of edges they cover.
+
+The router accumulates wire *usage* on edges; the paper's per-G-cell
+horizontal/vertical **demand maps** and binary **congestion maps** are then
+derived here (see :mod:`repro.routing.congestion` for the map extraction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.design import Design
+
+__all__ = ["RoutingGrid"]
+
+
+class RoutingGrid:
+    """State of the global-routing grid.
+
+    Parameters
+    ----------
+    design:
+        Placed design (used for die bounds and macro blockages).
+    nx, ny:
+        Number of G-cells per axis.
+    capacity_h, capacity_v:
+        Per-edge track capacity in the horizontal / vertical direction
+        before blockage derating.
+    blockage_derate:
+        Remaining capacity fraction for edges fully under a fixed macro.
+    """
+
+    def __init__(self, design: Design, nx: int = 32, ny: int = 32,
+                 capacity_h: float = 4.0, capacity_v: float = 4.0,
+                 blockage_derate: float = 0.35):
+        self.design = design
+        self.nx = nx
+        self.ny = ny
+        xl, yl, xh, yh = design.die
+        self.xl, self.yl = xl, yl
+        self.cell_w = (xh - xl) / nx
+        self.cell_h = (yh - yl) / ny
+
+        # Edge arrays: h_edges[i, j] joins G-cell (i, j) to (i+1, j);
+        # v_edges[i, j] joins (i, j) to (i, j+1).
+        self.h_capacity = np.full((nx - 1, ny), float(capacity_h))
+        self.v_capacity = np.full((nx, ny - 1), float(capacity_v))
+        self.h_usage = np.zeros((nx - 1, ny))
+        self.v_usage = np.zeros((nx, ny - 1))
+        # PathFinder-style history cost, grown on overflowed edges each
+        # rip-up-and-reroute round.
+        self.h_history = np.zeros((nx - 1, ny))
+        self.v_history = np.zeros((nx, ny - 1))
+        self._apply_blockages(blockage_derate)
+
+    # ------------------------------------------------------------------
+    def _apply_blockages(self, derate: float) -> None:
+        """Reduce capacity of edges covered by fixed macros.
+
+        A macro is any fixed cell covering more than one G-cell.
+        """
+        coverage = np.zeros((self.nx, self.ny))
+        design = self.design
+        for cid in np.flatnonzero(design.cell_fixed):
+            w, h = design.cell_w[cid], design.cell_h[cid]
+            if w <= self.cell_w and h <= self.cell_h:
+                continue  # pad-sized terminal, no blockage
+            gx0, gy0 = self.gcell_of(design.cell_x[cid], design.cell_y[cid])
+            gx1, gy1 = self.gcell_of(design.cell_x[cid] + w - 1e-9,
+                                     design.cell_y[cid] + h - 1e-9)
+            coverage[gx0:gx1 + 1, gy0:gy1 + 1] = 1.0
+        # An edge is derated when both endpoints are covered.
+        h_block = coverage[:-1, :] * coverage[1:, :]
+        v_block = coverage[:, :-1] * coverage[:, 1:]
+        self.h_capacity *= (1.0 - (1.0 - derate) * h_block)
+        self.v_capacity *= (1.0 - (1.0 - derate) * v_block)
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping
+    # ------------------------------------------------------------------
+    def gcell_of(self, x: float, y: float) -> tuple[int, int]:
+        """Map a die coordinate to its (gx, gy) G-cell index."""
+        gx = int(np.clip((x - self.xl) / self.cell_w, 0, self.nx - 1))
+        gy = int(np.clip((y - self.yl) / self.cell_h, 0, self.ny - 1))
+        return gx, gy
+
+    def gcells_of(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`gcell_of`."""
+        gx = np.clip(((x - self.xl) / self.cell_w).astype(np.int64), 0, self.nx - 1)
+        gy = np.clip(((y - self.yl) / self.cell_h).astype(np.int64), 0, self.ny - 1)
+        return gx, gy
+
+    # ------------------------------------------------------------------
+    # Usage accounting
+    # ------------------------------------------------------------------
+    def add_path(self, path: list[tuple[int, int]], sign: float = 1.0) -> None:
+        """Accumulate usage of a G-cell path (list of adjacent G-cells).
+
+        ``sign=-1`` removes a previously added path (rip-up).
+        """
+        for (ax, ay), (bx, by) in zip(path, path[1:]):
+            if ax == bx and ay == by:
+                continue
+            if ay == by:  # horizontal move
+                self.h_usage[min(ax, bx), ay] += sign
+            elif ax == bx:  # vertical move
+                self.v_usage[ax, min(ay, by)] += sign
+            else:
+                raise ValueError(f"non-adjacent step {(ax, ay)} → {(bx, by)}")
+
+    def edge_overflow(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-edge overflow ``max(usage - capacity, 0)`` for (H, V)."""
+        return (np.maximum(self.h_usage - self.h_capacity, 0.0),
+                np.maximum(self.v_usage - self.v_capacity, 0.0))
+
+    def total_overflow(self) -> float:
+        """Sum of edge overflow over both directions."""
+        oh, ov = self.edge_overflow()
+        return float(oh.sum() + ov.sum())
+
+    def bump_history(self, increment: float = 0.5) -> None:
+        """Raise history cost on currently overflowed edges (PathFinder)."""
+        oh, ov = self.edge_overflow()
+        self.h_history += increment * (oh > 0)
+        self.v_history += increment * (ov > 0)
+
+    # ------------------------------------------------------------------
+    # Edge costs for the maze router
+    # ------------------------------------------------------------------
+    def edge_costs(self, overflow_penalty: float = 4.0) -> tuple[np.ndarray, np.ndarray]:
+        """Congestion-aware edge costs (H, V arrays).
+
+        Cost = 1 + history + penalty · max(usage + 1 − capacity, 0); i.e.
+        an edge that *would* overflow if one more wire crossed it becomes
+        expensive, realising negotiated congestion.
+        """
+        h = (1.0 + self.h_history
+             + overflow_penalty * np.maximum(
+                 self.h_usage + 1.0 - self.h_capacity, 0.0))
+        v = (1.0 + self.v_history
+             + overflow_penalty * np.maximum(
+                 self.v_usage + 1.0 - self.v_capacity, 0.0))
+        return h, v
+
+    def reset_usage(self) -> None:
+        """Clear all accumulated usage and history."""
+        self.h_usage[:] = 0.0
+        self.v_usage[:] = 0.0
+        self.h_history[:] = 0.0
+        self.v_history[:] = 0.0

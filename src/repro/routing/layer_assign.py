@@ -1,0 +1,89 @@
+"""Two-layer assignment and via analysis.
+
+Real global routers (NCTU-GR 2.0 among them) work on a multi-layer stack:
+horizontal wires on one metal layer, vertical wires on another, connected
+by vias.  Our label pipeline needs only the planar H/V demand maps, but
+this module extends the routed result to the classical 2-layer HV model:
+
+* horizontal segments → layer 1, vertical segments → layer 2,
+* a via is charged at every point a path switches direction (and at each
+  segment endpoint, where the wire must reach the pin layer),
+* via demand per G-cell plus the layer-wise wirelength report.
+
+Used by the extension analyses and by tests as an internal consistency
+check on the router's paths (direction changes are well-defined only on
+valid rectilinear paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .router import GlobalRouter
+
+__all__ = ["LayerStats", "assign_layers", "via_map_of_paths"]
+
+
+@dataclass
+class LayerStats:
+    """Outcome of 2-layer assignment over all routed segments."""
+
+    horizontal_wirelength: float
+    vertical_wirelength: float
+    num_vias: int
+    via_map: np.ndarray          # (nx, ny) via count per G-cell
+
+    @property
+    def total_wirelength(self) -> float:
+        """Planar wirelength over both layers."""
+        return self.horizontal_wirelength + self.vertical_wirelength
+
+    @property
+    def vias_per_unit_length(self) -> float:
+        """Via density — a routability/quality indicator."""
+        total = self.total_wirelength
+        return self.num_vias / total if total else 0.0
+
+
+def _step_direction(a: tuple[int, int], b: tuple[int, int]) -> str:
+    if a[1] == b[1]:
+        return "h"
+    if a[0] == b[0]:
+        return "v"
+    raise ValueError(f"non-rectilinear step {a} → {b}")
+
+
+def via_map_of_paths(paths: list[list[tuple[int, int]]],
+                     nx: int, ny: int) -> LayerStats:
+    """Compute :class:`LayerStats` for a set of G-cell paths."""
+    via_map = np.zeros((nx, ny))
+    h_len = 0.0
+    v_len = 0.0
+    vias = 0
+    for path in paths:
+        if len(path) < 2:
+            continue
+        directions = [_step_direction(a, b) for a, b in zip(path, path[1:])]
+        h_len += directions.count("h")
+        v_len += directions.count("v")
+        # Direction switches inside the path.
+        for i in range(1, len(directions)):
+            if directions[i] != directions[i - 1]:
+                vias += 1
+                x, y = path[i]
+                via_map[x, y] += 1
+        # Endpoint vias: wires drop to the pin layer at both ends.
+        for x, y in (path[0], path[-1]):
+            vias += 1
+            via_map[x, y] += 1
+    return LayerStats(horizontal_wirelength=h_len, vertical_wirelength=v_len,
+                      num_vias=vias, via_map=via_map)
+
+
+def assign_layers(router: GlobalRouter) -> LayerStats:
+    """2-layer HV assignment of a finished :class:`GlobalRouter` run."""
+    if not router._paths:
+        raise ValueError("router has no routed paths; call run() first")
+    return via_map_of_paths(router._paths, router.grid.nx, router.grid.ny)

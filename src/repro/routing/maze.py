@@ -1,0 +1,88 @@
+"""A* maze routing on the G-cell grid.
+
+The escape hatch of the rip-up-and-reroute loop: finds the cheapest path
+between two G-cells under the current congestion-aware edge costs, with an
+admissible L1 lower bound as heuristic (unit edge cost floor).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["astar_route"]
+
+
+def astar_route(a: tuple[int, int], b: tuple[int, int],
+                h_cost: np.ndarray, v_cost: np.ndarray,
+                bbox_margin: int | None = 6) -> list[tuple[int, int]] | None:
+    """Cheapest path from ``a`` to ``b`` under the given edge costs.
+
+    Parameters
+    ----------
+    h_cost, v_cost:
+        Edge-cost arrays of shape ``(nx-1, ny)`` and ``(nx, ny-1)``; all
+        entries must be >= 1 for the heuristic to stay admissible.
+    bbox_margin:
+        Restrict the search to the bounding box of the endpoints expanded
+        by this many G-cells (detours outside rarely pay off and the
+        restriction bounds worst-case work).  ``None`` searches the whole
+        grid.
+
+    Returns the G-cell path including both endpoints, or ``None`` if no
+    path exists inside the search window (never happens on a connected
+    grid).
+    """
+    nx = v_cost.shape[0]
+    ny = h_cost.shape[1]
+    ax, ay = a
+    bx, by = b
+    if a == b:
+        return [a]
+
+    if bbox_margin is None:
+        x_lo, x_hi, y_lo, y_hi = 0, nx - 1, 0, ny - 1
+    else:
+        x_lo = max(0, min(ax, bx) - bbox_margin)
+        x_hi = min(nx - 1, max(ax, bx) + bbox_margin)
+        y_lo = max(0, min(ay, by) - bbox_margin)
+        y_hi = min(ny - 1, max(ay, by) + bbox_margin)
+
+    def heuristic(x: int, y: int) -> float:
+        return abs(x - bx) + abs(y - by)
+
+    start = (ax, ay)
+    dist: dict[tuple[int, int], float] = {start: 0.0}
+    parent: dict[tuple[int, int], tuple[int, int]] = {}
+    heap: list[tuple[float, tuple[int, int]]] = [(heuristic(ax, ay), start)]
+    closed: set[tuple[int, int]] = set()
+
+    while heap:
+        f, (x, y) = heapq.heappop(heap)
+        if (x, y) in closed:
+            continue
+        if (x, y) == (bx, by):
+            path = [(x, y)]
+            while path[-1] != start:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return path
+        closed.add((x, y))
+        g = dist[(x, y)]
+        # East, West, North, South with direction-specific edge costs.
+        neighbours = (
+            (x + 1, y, h_cost[x, y] if x + 1 <= x_hi else None),
+            (x - 1, y, h_cost[x - 1, y] if x - 1 >= x_lo else None),
+            (x, y + 1, v_cost[x, y] if y + 1 <= y_hi else None),
+            (x, y - 1, v_cost[x, y - 1] if y - 1 >= y_lo else None),
+        )
+        for nx_, ny_, w in neighbours:
+            if w is None or (nx_, ny_) in closed:
+                continue
+            cand = g + float(w)
+            if cand < dist.get((nx_, ny_), np.inf):
+                dist[(nx_, ny_)] = cand
+                parent[(nx_, ny_)] = (x, y)
+                heapq.heappush(heap, (cand + heuristic(nx_, ny_), (nx_, ny_)))
+    return None

@@ -1,0 +1,106 @@
+"""Pattern routing: L- and Z-shaped candidate paths for two-pin segments.
+
+Pattern routing tries a small set of canonical shapes and picks the one
+with the lowest congestion cost — it is the fast first phase of NCTU-GR
+style routers, with maze routing reserved for segments that stay
+overflowed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["l_paths", "z_paths", "path_cost", "best_pattern_path",
+           "straight_path"]
+
+
+def straight_path(a: tuple[int, int], b: tuple[int, int]) -> list[tuple[int, int]]:
+    """Axis-aligned G-cell walk from ``a`` to ``b`` (must share a row/col)."""
+    ax, ay = a
+    bx, by = b
+    path = [(ax, ay)]
+    if ay == by:
+        step = 1 if bx >= ax else -1
+        for x in range(ax + step, bx + step, step):
+            path.append((x, ay))
+    elif ax == bx:
+        step = 1 if by >= ay else -1
+        for y in range(ay + step, by + step, step):
+            path.append((ax, y))
+    else:
+        raise ValueError("straight_path requires aligned endpoints")
+    return path
+
+
+def l_paths(a: tuple[int, int], b: tuple[int, int]) -> list[list[tuple[int, int]]]:
+    """The two L-shaped paths between ``a`` and ``b`` (one if aligned)."""
+    ax, ay = a
+    bx, by = b
+    if ax == bx or ay == by:
+        return [straight_path(a, b)]
+    via1 = (bx, ay)  # horizontal first
+    via2 = (ax, by)  # vertical first
+    p1 = straight_path(a, via1) + straight_path(via1, b)[1:]
+    p2 = straight_path(a, via2) + straight_path(via2, b)[1:]
+    return [p1, p2]
+
+
+def z_paths(a: tuple[int, int], b: tuple[int, int],
+            max_candidates: int = 8) -> list[list[tuple[int, int]]]:
+    """Z-shaped paths: one intermediate jog between the endpoints.
+
+    Candidates are sub-sampled evenly when the span is wide, to bound the
+    per-segment work.
+    """
+    ax, ay = a
+    bx, by = b
+    paths: list[list[tuple[int, int]]] = []
+    if ax != bx and ay != by:
+        xs = range(min(ax, bx) + 1, max(ax, bx))
+        ys = range(min(ay, by) + 1, max(ay, by))
+        xs = list(xs)
+        ys = list(ys)
+        if len(xs) > max_candidates:
+            xs = [xs[i] for i in np.linspace(0, len(xs) - 1, max_candidates).astype(int)]
+        if len(ys) > max_candidates:
+            ys = [ys[i] for i in np.linspace(0, len(ys) - 1, max_candidates).astype(int)]
+        for x in xs:  # HVH: jog at column x
+            via1, via2 = (x, ay), (x, by)
+            paths.append(straight_path(a, via1)
+                         + straight_path(via1, via2)[1:]
+                         + straight_path(via2, b)[1:])
+        for y in ys:  # VHV: jog at row y
+            via1, via2 = (ax, y), (bx, y)
+            paths.append(straight_path(a, via1)
+                         + straight_path(via1, via2)[1:]
+                         + straight_path(via2, b)[1:])
+    return paths
+
+
+def path_cost(path: list[tuple[int, int]], h_cost: np.ndarray,
+              v_cost: np.ndarray) -> float:
+    """Total edge cost of a G-cell path under (H, V) edge-cost arrays."""
+    total = 0.0
+    for (ax, ay), (bx, by) in zip(path, path[1:]):
+        if ay == by:
+            total += h_cost[min(ax, bx), ay]
+        else:
+            total += v_cost[ax, min(ay, by)]
+    return float(total)
+
+
+def best_pattern_path(a: tuple[int, int], b: tuple[int, int],
+                      h_cost: np.ndarray, v_cost: np.ndarray,
+                      use_z: bool = True) -> list[tuple[int, int]]:
+    """Cheapest L (and optionally Z) path between two G-cells."""
+    candidates = l_paths(a, b)
+    if use_z:
+        candidates.extend(z_paths(a, b))
+    best = None
+    best_cost = np.inf
+    for path in candidates:
+        c = path_cost(path, h_cost, v_cost)
+        if c < best_cost:
+            best_cost = c
+            best = path
+    return best

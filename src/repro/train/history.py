@@ -1,0 +1,79 @@
+"""Training-history tracking.
+
+Records per-epoch loss and (optionally) evaluation metrics during
+training, supports simple convergence queries and renders an ASCII loss
+curve — useful for the examples and for debugging training runs without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Loss/metric trajectory of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+    metrics: list[dict] = field(default_factory=list)
+    lrs: list[float] = field(default_factory=list)
+
+    def record(self, loss: float, lr: float | None = None,
+               metrics: dict | None = None) -> None:
+        """Append one epoch's statistics."""
+        self.losses.append(float(loss))
+        if lr is not None:
+            self.lrs.append(float(lr))
+        if metrics is not None:
+            self.metrics.append(dict(metrics))
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of recorded epochs."""
+        return len(self.losses)
+
+    def best_epoch(self, key: str = "f1") -> int:
+        """Epoch index with the best recorded metric (max)."""
+        if not self.metrics:
+            raise ValueError("no metrics recorded")
+        values = [m.get(key, -np.inf) for m in self.metrics]
+        return int(np.argmax(values))
+
+    def improved_over_first(self) -> bool:
+        """Whether the final loss is below the first epoch's loss."""
+        return self.num_epochs >= 2 and self.losses[-1] < self.losses[0]
+
+    def plateau_length(self, tolerance: float = 1e-3) -> int:
+        """Number of trailing epochs with < ``tolerance`` relative change."""
+        count = 0
+        for prev, cur in zip(reversed(self.losses[:-1]),
+                             reversed(self.losses[1:])):
+            if prev == 0 or abs(cur - prev) / abs(prev) >= tolerance:
+                break
+            count += 1
+        return count
+
+    def ascii_curve(self, width: int = 60, height: int = 10) -> str:
+        """Render the loss curve as ASCII art (epochs → columns)."""
+        if not self.losses:
+            return "(no epochs recorded)"
+        series = np.asarray(self.losses)
+        if len(series) > width:
+            idx = np.linspace(0, len(series) - 1, width).astype(int)
+            series = series[idx]
+        lo, hi = float(series.min()), float(series.max())
+        span = hi - lo if hi > lo else 1.0
+        rows = []
+        levels = ((series - lo) / span * (height - 1)).round().astype(int)
+        for level in range(height - 1, -1, -1):
+            row = "".join("*" if l == level else " " for l in levels)
+            rows.append(row)
+        rows.append("-" * len(series))
+        rows.append(f"loss {hi:.4f} (top) → {lo:.4f} (bottom), "
+                    f"{self.num_epochs} epochs")
+        return "\n".join(rows)

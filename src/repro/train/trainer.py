@@ -1,0 +1,337 @@
+"""Training and evaluation loops for every model family.
+
+Reproduces the paper's protocol (§5.1–5.2): fixed epoch budget, Adam with
+the 2e-3 → 5e-4 learning-rate pair, γ-weighted BCE on the congestion map
+(all models) plus MSE on the demand map (LHNN's joint supervision),
+evaluation = per-circuit F1/ACC on held-out designs averaged per seed,
+with mean ± std over seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import GraphSample
+from ..graph.sampling import sampled_operators
+from ..models.lhnn import LHNN, LHNNConfig
+from ..models.mlp_baseline import MLPBaseline
+from ..models.pix2pix import Pix2Pix
+from ..models.unet import UNet
+from ..nn import no_grad
+from ..nn.losses import GammaWeightedBCE, GANLoss, JointLoss
+from ..nn.optim import Adam, clip_grad_norm
+from ..nn.tensor import Tensor
+from .config import TrainConfig
+from .metrics import MetricSummary, evaluate_binary, summarize_runs
+
+__all__ = [
+    "train_lhnn", "evaluate_lhnn",
+    "train_mlp", "evaluate_mlp",
+    "train_unet", "evaluate_unet",
+    "train_pix2pix", "evaluate_pix2pix",
+    "seeded_runs",
+]
+
+
+def _epoch_lr(config: TrainConfig, epoch: int) -> float:
+    """Two-phase learning rate: ``lr`` then ``lr_final`` halfway through."""
+    return config.lr if epoch < config.epochs // 2 else config.lr_final
+
+
+def _tiles(height: int, width: int, crop: int | None):
+    """Non-overlapping (y0, x0) tile origins covering a H×W image."""
+    if crop is None:
+        return [(0, 0, height, width)]
+    origins = []
+    for y0 in range(0, height, crop):
+        for x0 in range(0, width, crop):
+            origins.append((y0, x0, min(crop, height - y0), min(crop, width - x0)))
+    return origins
+
+
+def _crop_pairs(image: np.ndarray, label: np.ndarray, crop: int | None):
+    """Split an NCHW image/label pair into aligned non-overlapping crops.
+
+    Mirrors the paper's 256×256 crop protocol for U-Net / Pix2Pix: models
+    never see the whole die at once.
+    """
+    _, _, h, w = image.shape
+    pairs = []
+    for y0, x0, ch, cw in _tiles(h, w, crop):
+        pairs.append((image[:, :, y0:y0 + ch, x0:x0 + cw],
+                      label[:, :, y0:y0 + ch, x0:x0 + cw]))
+    return pairs
+
+
+def _predict_tiled(forward, image: np.ndarray, out_channels: int,
+                   crop: int | None) -> np.ndarray:
+    """Run ``forward`` per tile and stitch an NCHW probability map."""
+    n, _, h, w = image.shape
+    out = np.zeros((n, out_channels, h, w))
+    for y0, x0, ch, cw in _tiles(h, w, crop):
+        tile = Tensor(image[:, :, y0:y0 + ch, x0:x0 + cw])
+        out[:, :, y0:y0 + ch, x0:x0 + cw] = forward(tile).data
+    return out
+
+
+# ---------------------------------------------------------------------------
+# LHNN
+# ---------------------------------------------------------------------------
+def train_lhnn(train_samples: list[GraphSample], config: TrainConfig,
+               model_config: LHNNConfig | None = None) -> LHNN:
+    """Train LHNN on the training designs (full-graph or sampled)."""
+    rng = np.random.default_rng(config.seed)
+    model_config = model_config or LHNNConfig()
+    model = LHNN(model_config, rng)
+    opt = Adam(model.parameters(), lr=config.lr)
+    loss_fn = JointLoss(gamma=config.gamma,
+                        use_regression=model_config.use_jointing)
+    order = np.arange(len(train_samples))
+    for epoch in range(config.epochs):
+        opt.lr = _epoch_lr(config, epoch)
+        rng.shuffle(order)
+        total = 0.0
+        for idx in order:
+            sample = train_samples[idx]
+            operators = None
+            if config.use_sampling:
+                operators = sampled_operators(sample.graph, config.fanouts, rng)
+            opt.zero_grad()
+            out = model(sample.graph, operators=operators,
+                        vc=Tensor(sample.features),
+                        vn=Tensor(sample.net_features))
+            loss = loss_fn(out.cls_prob, out.reg_pred,
+                           sample.cls_target, sample.reg_target)
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            opt.step()
+            total += loss.item()
+        if config.verbose:
+            print(f"[lhnn] epoch {epoch + 1}/{config.epochs} "
+                  f"loss {total / len(order):.4f}")
+    return model
+
+
+def evaluate_lhnn(model: LHNN, samples: list[GraphSample],
+                  threshold: float = 0.5) -> dict[str, float]:
+    """Per-circuit F1/ACC averaged over ``samples`` (values in %)."""
+    model.eval()
+    f1s, accs = [], []
+    with no_grad():
+        for sample in samples:
+            out = model(sample.graph, vc=Tensor(sample.features),
+                        vn=Tensor(sample.net_features))
+            m = evaluate_binary(out.cls_prob.data, sample.cls_target, threshold)
+            f1s.append(m["f1"])
+            accs.append(m["acc"])
+    model.train()
+    return {"f1": float(np.mean(f1s)), "acc": float(np.mean(accs))}
+
+
+# ---------------------------------------------------------------------------
+# MLP baseline
+# ---------------------------------------------------------------------------
+def train_mlp(train_samples: list[GraphSample], config: TrainConfig,
+              channels: int = 1, hidden: int = 32) -> MLPBaseline:
+    """Train the 4-layer residual MLP on per-G-cell features."""
+    rng = np.random.default_rng(config.seed)
+    model = MLPBaseline(in_features=train_samples[0].features.shape[1],
+                        hidden=hidden, channels=channels, rng=rng)
+    opt = Adam(model.parameters(), lr=config.lr)
+    loss_fn = GammaWeightedBCE(gamma=config.gamma)
+    order = np.arange(len(train_samples))
+    for epoch in range(config.epochs):
+        opt.lr = _epoch_lr(config, epoch)
+        rng.shuffle(order)
+        for idx in order:
+            sample = train_samples[idx]
+            opt.zero_grad()
+            prob = model(Tensor(sample.features))
+            loss = loss_fn(prob, sample.cls_target)
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            opt.step()
+    return model
+
+
+def evaluate_mlp(model: MLPBaseline, samples: list[GraphSample],
+                 threshold: float = 0.5) -> dict[str, float]:
+    """Per-circuit F1/ACC averaged over ``samples`` (values in %)."""
+    model.eval()
+    f1s, accs = [], []
+    with no_grad():
+        for sample in samples:
+            prob = model(Tensor(sample.features))
+            m = evaluate_binary(prob.data, sample.cls_target, threshold)
+            f1s.append(m["f1"])
+            accs.append(m["acc"])
+    model.train()
+    return {"f1": float(np.mean(f1s)), "acc": float(np.mean(accs))}
+
+
+# ---------------------------------------------------------------------------
+# U-Net baseline
+# ---------------------------------------------------------------------------
+def train_unet(train_samples: list[GraphSample], config: TrainConfig,
+               channels: int = 1, base_width: int = 12) -> UNet:
+    """Train U-Net on crafted-feature images."""
+    rng = np.random.default_rng(config.seed)
+    model = UNet(in_channels=train_samples[0].image.shape[1],
+                 out_channels=channels, base_width=base_width, rng=rng)
+    opt = Adam(model.parameters(), lr=config.lr)
+    loss_fn = GammaWeightedBCE(gamma=config.gamma)
+    crops = []
+    for sample in train_samples:
+        crops.extend(_crop_pairs(sample.image, sample.cls_image, config.crop))
+    order = np.arange(len(crops))
+    for epoch in range(config.epochs):
+        opt.lr = _epoch_lr(config, epoch)
+        rng.shuffle(order)
+        for idx in order:
+            image, label = crops[idx]
+            opt.zero_grad()
+            prob = model(Tensor(image))
+            loss = loss_fn(prob, label)
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            opt.step()
+    return model
+
+
+def evaluate_unet(model: UNet, samples: list[GraphSample],
+                  threshold: float = 0.5,
+                  crop: int | None = None) -> dict[str, float]:
+    """Per-circuit F1/ACC averaged over ``samples`` (values in %).
+
+    When ``crop`` is given, prediction is tiled exactly as in training and
+    stitched back (the paper crops at test time too).
+    """
+    model.eval()
+    f1s, accs = [], []
+    channels = samples[0].cls_image.shape[1]
+    with no_grad():
+        for sample in samples:
+            prob = _predict_tiled(model, sample.image, channels, crop)
+            m = evaluate_binary(prob, sample.cls_image, threshold)
+            f1s.append(m["f1"])
+            accs.append(m["acc"])
+    model.train()
+    return {"f1": float(np.mean(f1s)), "acc": float(np.mean(accs))}
+
+
+# ---------------------------------------------------------------------------
+# Pix2Pix baseline
+# ---------------------------------------------------------------------------
+def train_pix2pix(train_samples: list[GraphSample], config: TrainConfig,
+                  channels: int = 1, base_width: int = 12) -> Pix2Pix:
+    """Adversarial training: PatchGAN D vs U-Net G + γ-BCE reconstruction."""
+    rng = np.random.default_rng(config.seed)
+    model = Pix2Pix(in_channels=train_samples[0].image.shape[1],
+                    out_channels=channels, base_width=base_width, rng=rng)
+    opt_g = Adam(model.generator.parameters(), lr=config.lr,
+                 betas=(0.5, 0.999))
+    opt_d = Adam(model.discriminator.parameters(), lr=config.lr,
+                 betas=(0.5, 0.999))
+    gan_loss = GANLoss()
+    rec_loss = GammaWeightedBCE(gamma=config.gamma)
+    crops = []
+    for sample in train_samples:
+        crops.extend(_crop_pairs(sample.image, sample.cls_image, config.crop))
+    order = np.arange(len(crops))
+    for epoch in range(config.epochs):
+        lr = _epoch_lr(config, epoch)
+        opt_g.lr = lr
+        opt_d.lr = lr
+        rng.shuffle(order)
+        for idx in order:
+            image, label = crops[idx]
+            x = Tensor(image)
+            y_real = Tensor(label)
+
+            # --- discriminator step -----------------------------------
+            fake = model.generator(x)
+            opt_d.zero_grad()
+            d_real = model.discriminate(x, y_real)
+            d_fake = model.discriminate(x, fake.detach())
+            loss_d = (gan_loss(d_real, True) + gan_loss(d_fake, False)) * 0.5
+            loss_d.backward()
+            clip_grad_norm(model.discriminator.parameters(), config.grad_clip)
+            opt_d.step()
+
+            # --- generator step ---------------------------------------
+            opt_g.zero_grad()
+            fake = model.generator(x)
+            d_fake = model.discriminate(x, fake)
+            loss_g = (config.gan_weight * gan_loss(d_fake, True)
+                      + rec_loss(fake, label))
+            loss_g.backward()
+            clip_grad_norm(model.generator.parameters(), config.grad_clip)
+            opt_g.step()
+    return model
+
+
+def evaluate_pix2pix(model: Pix2Pix, samples: list[GraphSample],
+                     threshold: float = 0.5,
+                     crop: int | None = None) -> dict[str, float]:
+    """Per-circuit F1/ACC of the generator output (values in %)."""
+    model.eval()
+    f1s, accs = [], []
+    channels = samples[0].cls_image.shape[1]
+    with no_grad():
+        for sample in samples:
+            prob = _predict_tiled(model.generator, sample.image, channels, crop)
+            m = evaluate_binary(prob, sample.cls_image, threshold)
+            f1s.append(m["f1"])
+            accs.append(m["acc"])
+    model.train()
+    return {"f1": float(np.mean(f1s)), "acc": float(np.mean(accs))}
+
+
+# ---------------------------------------------------------------------------
+# Related-work GNN baselines (extension beyond the paper's Table 2)
+# ---------------------------------------------------------------------------
+def train_gridsage(train_samples: list[GraphSample], config: TrainConfig,
+                   channels: int = 1, hidden: int = 32):
+    """Train GraphSAGE over the G-cell lattice (geometric-only GNN)."""
+    from ..models.related import GridSAGE
+    rng = np.random.default_rng(config.seed)
+    model = GridSAGE(in_features=train_samples[0].features.shape[1],
+                     hidden=hidden, channels=channels, rng=rng)
+    opt = Adam(model.parameters(), lr=config.lr)
+    loss_fn = GammaWeightedBCE(gamma=config.gamma)
+    order = np.arange(len(train_samples))
+    for epoch in range(config.epochs):
+        opt.lr = _epoch_lr(config, epoch)
+        rng.shuffle(order)
+        for idx in order:
+            sample = train_samples[idx]
+            opt.zero_grad()
+            prob = model(sample.graph, vc=Tensor(sample.features))
+            loss = loss_fn(prob, sample.cls_target)
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            opt.step()
+    return model
+
+
+def evaluate_gridsage(model, samples: list[GraphSample],
+                      threshold: float = 0.5) -> dict[str, float]:
+    """Per-circuit F1/ACC of the GridSAGE baseline (values in %)."""
+    model.eval()
+    f1s, accs = [], []
+    with no_grad():
+        for sample in samples:
+            prob = model(sample.graph, vc=Tensor(sample.features))
+            m = evaluate_binary(prob.data, sample.cls_target, threshold)
+            f1s.append(m["f1"])
+            accs.append(m["acc"])
+    model.train()
+    return {"f1": float(np.mean(f1s)), "acc": float(np.mean(accs))}
+
+
+# ---------------------------------------------------------------------------
+# Seeded repetition
+# ---------------------------------------------------------------------------
+def seeded_runs(run_fn, seeds: list[int]) -> MetricSummary:
+    """Repeat ``run_fn(seed) -> {'f1', 'acc'}`` and summarise mean ± std."""
+    return summarize_runs([run_fn(seed) for seed in seeds])

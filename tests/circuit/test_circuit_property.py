@@ -1,0 +1,43 @@
+"""Property-based tests on the circuit substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import DesignSpec, generate_design, validate_design
+from repro.placement.legalize import legalize, overlap_count
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       n=st.integers(40, 160),
+       clusters=st.integers(2, 8))
+def test_generated_designs_always_valid(seed, n, clusters):
+    spec = DesignSpec(seed=seed, num_movable=n, num_clusters=clusters,
+                      num_terminals=8, num_macros=1, die_size=24.0)
+    design = generate_design(spec)
+    assert validate_design(design) == []
+    assert design.net_degree().min() >= 2
+    assert design.hpwl() >= 0.0
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_legalization_always_removes_overlaps(seed):
+    spec = DesignSpec(seed=seed, num_movable=60, num_terminals=6,
+                      num_macros=1, die_size=24.0, utilization=0.3)
+    design = generate_design(spec)
+    legalize(design)
+    assert overlap_count(design) == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_bookshelf_roundtrip_hpwl_invariant(seed, tmp_path_factory):
+    from repro.circuit import read_design, write_design
+    spec = DesignSpec(seed=seed, num_movable=40, num_terminals=4,
+                      num_macros=0, die_size=16.0)
+    design = generate_design(spec)
+    directory = tmp_path_factory.mktemp(f"bs{seed}")
+    aux = write_design(design, str(directory))
+    loaded = read_design(aux)
+    assert abs(loaded.hpwl() - design.hpwl()) < 1e-5

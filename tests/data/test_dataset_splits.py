@@ -1,0 +1,125 @@
+"""Tests for dataset views and split selection."""
+
+import numpy as np
+import pytest
+
+from repro.data import (CongestionDataset, SplitResult, enumerate_splits,
+                        select_balanced_split)
+from repro.data.dataset import standardize
+
+
+class TestSplits:
+    def test_enumerate_count(self):
+        splits = list(enumerate_splits(6, test_size=2))
+        assert len(splits) == 15  # C(6,2)
+
+    def test_enumerate_partition(self):
+        for train, test in enumerate_splits(5, 2):
+            assert sorted(train + test) == [0, 1, 2, 3, 4]
+            assert not set(train) & set(test)
+
+    def test_balanced_split_minimises_gap(self):
+        rates = np.array([0.1, 0.1, 0.1, 0.5, 0.5, 0.5])
+        best = select_balanced_split(rates, test_size=2)
+        # brute-force check nothing is better
+        for train, test in enumerate_splits(6, 2):
+            gap = abs(rates[list(train)].mean() - rates[list(test)].mean())
+            assert best.rate_gap <= gap + 1e-12
+
+    def test_equal_rates_give_zero_gap(self):
+        rates = np.full(6, 0.2)
+        best = select_balanced_split(rates, test_size=2)
+        assert best.rate_gap == pytest.approx(0.0)
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            select_balanced_split(np.ones(4), test_size=4)
+
+    def test_paper_scale_split_shape(self):
+        """15 designs, 5 test → 3003 candidate splits; pick one, sizes hold."""
+        rng = np.random.default_rng(0)
+        rates = rng.uniform(0.0, 0.5, size=15)
+        best = select_balanced_split(rates, test_size=5)
+        assert len(best.train_indices) == 10
+        assert len(best.test_indices) == 5
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 2.0, size=(200, 3))
+        z = standardize(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_channel_stays_zero(self):
+        x = np.ones((10, 2))
+        x[:, 1] = np.arange(10)
+        z = standardize(x)
+        assert np.allclose(z[:, 0], 0.0)
+
+
+class TestDataset:
+    def test_rejects_unlabelled(self, placed_design, routing_result):
+        from repro.graph import build_lhgraph
+        g = build_lhgraph(placed_design, routing_result.grid, maps=None)
+        with pytest.raises(ValueError):
+            CongestionDataset([g])
+
+    def test_rejects_bad_channels(self, tiny_graph_suite):
+        with pytest.raises(ValueError):
+            CongestionDataset(tiny_graph_suite, channels=3)
+
+    def test_uni_channel_shapes(self, tiny_graph_suite):
+        ds = CongestionDataset(tiny_graph_suite, channels=1)
+        s = ds.sample(0)
+        nc = tiny_graph_suite[0].num_gcells
+        assert s.features.shape == (nc, 4)
+        assert s.cls_target.shape == (nc, 1)
+        assert s.image.shape[1] == 4
+        assert s.cls_image.shape[1] == 1
+
+    def test_duo_channel_shapes(self, tiny_graph_suite):
+        ds = CongestionDataset(tiny_graph_suite, channels=2)
+        s = ds.sample(0)
+        assert s.cls_target.shape[1] == 2
+        assert s.reg_image.shape[1] == 2
+
+    def test_image_matches_features(self, tiny_graph_suite):
+        ds = CongestionDataset(tiny_graph_suite)
+        s = ds.sample(0)
+        g = tiny_graph_suite[0]
+        assert np.allclose(
+            s.image[0].transpose(1, 2, 0).reshape(g.num_gcells, -1),
+            s.features)
+
+    def test_zero_gcell_features_ablation(self, tiny_graph_suite):
+        ds = CongestionDataset(tiny_graph_suite, zero_gcell_features=True)
+        s = ds.sample(0)
+        assert np.allclose(s.features[:, 0:3], 0.0)
+        # terminal-mask channel survives
+        assert np.abs(s.features[:, 3]).sum() > 0
+
+    def test_split_partition(self, tiny_graph_suite):
+        ds = CongestionDataset(tiny_graph_suite)
+        split = ds.split
+        all_idx = sorted(split.train_indices + split.test_indices)
+        assert all_idx == list(range(len(tiny_graph_suite)))
+
+    def test_train_test_samples(self, tiny_graph_suite):
+        ds = CongestionDataset(tiny_graph_suite)
+        assert len(ds.train_samples()) == len(ds.split.train_indices)
+        assert len(ds.test_samples()) == len(ds.split.test_indices)
+
+    def test_table1_rows(self, tiny_graph_suite):
+        ds = CongestionDataset(tiny_graph_suite)
+        rows = ds.table1_rows()
+        assert [r["split"] for r in rows] == ["Training", "Testing", "Total"]
+        for row in rows:
+            assert row["congestion_rate_%"] >= 0
+
+    def test_congestion_rates_vector(self, tiny_graph_suite):
+        ds = CongestionDataset(tiny_graph_suite)
+        rates = ds.congestion_rates(0)
+        assert len(rates) == len(tiny_graph_suite)
+        assert (rates >= 0).all() and (rates <= 1).all()

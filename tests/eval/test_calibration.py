@@ -1,0 +1,80 @@
+"""Tests for calibration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (expected_calibration_error, rate_tracking_error,
+                        reliability_bins)
+
+
+class TestReliabilityBins:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(0)
+        prob = rng.random(200_00)
+        target = (rng.random(200_00) < prob).astype(float)
+        bins = reliability_bins(prob, target, num_bins=10)
+        assert all(b.gap < 0.05 for b in bins)
+
+    def test_bin_counts_sum(self):
+        prob = np.linspace(0, 1, 101)
+        target = np.zeros(101)
+        bins = reliability_bins(prob, target)
+        assert sum(b.count for b in bins) == 101
+
+    def test_empty_bins_skipped(self):
+        prob = np.full(10, 0.05)
+        bins = reliability_bins(prob, np.zeros(10), num_bins=10)
+        assert len(bins) == 1
+        assert bins[0].lower == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            reliability_bins(np.zeros(3), np.zeros(4))
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            reliability_bins(np.zeros(3), np.zeros(3), num_bins=0)
+
+
+class TestECE:
+    def test_zero_for_perfect_confidence(self):
+        prob = np.array([1.0, 1.0, 0.0, 0.0])
+        target = np.array([1.0, 1.0, 0.0, 0.0])
+        assert expected_calibration_error(prob, target) == pytest.approx(0.0)
+
+    def test_maximal_for_confident_wrong(self):
+        prob = np.array([1.0, 1.0])
+        target = np.array([0.0, 0.0])
+        assert expected_calibration_error(prob, target) == pytest.approx(1.0)
+
+    def test_overconfident_half(self):
+        prob = np.full(100, 0.9)
+        target = np.concatenate([np.ones(50), np.zeros(50)])
+        ece = expected_calibration_error(prob, target)
+        assert ece == pytest.approx(0.4)
+
+    def test_empty_input(self):
+        assert expected_calibration_error(np.zeros(0), np.zeros(0)) == 0.0
+
+
+class TestRateTracking:
+    def test_perfect_tracking(self):
+        probs = [np.array([0.9, 0.1]), np.array([0.9, 0.9])]
+        targets = [np.array([1.0, 0.0]), np.array([1.0, 1.0])]
+        assert rate_tracking_error(probs, targets) == pytest.approx(0.0)
+
+    def test_averaged_predictor_penalised(self):
+        """A model predicting ~20 % positives everywhere has high tracking
+        error on designs with 0 % and 50 % true rates."""
+        flat = [np.full(100, 0.6) * (np.arange(100) < 20)  # 20% above 0.5
+                for _ in range(2)]
+        targets = [np.zeros(100), np.concatenate([np.ones(50), np.zeros(50)])]
+        err = rate_tracking_error(flat, targets)
+        assert err == pytest.approx((0.2 + 0.3) / 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rate_tracking_error([np.zeros(2)], [])
+
+    def test_empty(self):
+        assert rate_tracking_error([], []) == 0.0

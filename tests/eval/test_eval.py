@@ -1,0 +1,94 @@
+"""Tests for table formatting and visualisation."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.eval import (ascii_heatmap, comparison_panel, format_table,
+                        format_table2, format_table3, write_pgm)
+from repro.train import MetricSummary
+
+
+class TestAsciiHeatmap:
+    def test_dimensions(self):
+        art = ascii_heatmap(np.random.default_rng(0).random((8, 6)))
+        lines = art.split("\n")
+        assert len(lines) == 6          # ny rows
+        assert all(len(l) == 8 for l in lines)
+
+    def test_constant_array(self):
+        art = ascii_heatmap(np.zeros((4, 4)))
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_hot_cell_is_densest_char(self):
+        arr = np.zeros((3, 3))
+        arr[1, 1] = 1.0
+        art = ascii_heatmap(arr)
+        assert "@" in art
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(5))
+
+    def test_downsampling(self):
+        art = ascii_heatmap(np.random.default_rng(0).random((32, 32)),
+                            width=8)
+        assert len(art.split("\n")[0]) <= 16
+
+
+class TestPGM:
+    def test_write_and_header(self, tmp_path):
+        path = str(tmp_path / "m.pgm")
+        write_pgm(np.random.default_rng(0).random((8, 4)), path)
+        with open(path, "rb") as f:
+            header = f.readline().strip()
+            dims = f.readline().split()
+        assert header == b"P5"
+        assert dims == [b"8", b"4"]
+        assert os.path.getsize(path) > 8 * 4
+
+    def test_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(np.zeros(5), str(tmp_path / "x.pgm"))
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 100, "b": "y"}]
+        text = format_table(rows, title="T")
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        # title + header + separator + 2 body rows
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        assert format_table([], title="empty") == "empty"
+
+    def test_format_table2(self):
+        s = MetricSummary(40.89, 1.82, 95.46, 0.11)
+        text = format_table2({"LHNN": {"uni": s}})
+        assert "LHNN" in text
+        assert "40.89±1.82" in text
+        assert "duo F1" in text
+
+    def test_format_table3_deltas(self):
+        text = format_table3({"full": 40.0, "no_hypermp": 32.0})
+        assert "-20.00" in text  # (32-40)/40 = -20%
+
+
+class TestComparisonPanel:
+    def test_contains_all_names(self):
+        truth = np.random.default_rng(0).random((6, 6))
+        preds = {"lhnn": truth * 0.5, "unet": truth * 0.2}
+        panel = comparison_panel(truth, preds, title="superblue5")
+        assert "superblue5" in panel
+        assert "ground truth" in panel
+        assert "lhnn" in panel and "unet" in panel
+
+    def test_panels_aligned(self):
+        truth = np.zeros((4, 4))
+        panel = comparison_panel(truth, {"m": truth})
+        lines = panel.split("\n")[2:]
+        assert len({len(l) for l in lines if l}) <= 2

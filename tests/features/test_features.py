@@ -1,0 +1,108 @@
+"""Tests for crafted feature maps and G-net features."""
+
+import numpy as np
+import pytest
+
+from repro.features import (GCELL_FEATURE_NAMES, GNET_FEATURE_NAMES,
+                            compute_gnets, gcell_feature_stack,
+                            net_density_maps, pin_density_map, rudy_map,
+                            terminal_mask)
+
+
+@pytest.fixture(scope="module")
+def gnets(placed_design_module, grid_module):
+    return compute_gnets(placed_design_module, grid_module, max_fraction=None)
+
+
+@pytest.fixture(scope="module")
+def placed_design_module(request):
+    from repro.circuit import DesignSpec, generate_design
+    from repro.placement import place
+    d = generate_design(DesignSpec(name="feat-t", seed=41, num_movable=150,
+                                   num_terminals=12, num_macros=2,
+                                   die_size=32.0))
+    place(d)
+    return d
+
+
+@pytest.fixture(scope="module")
+def grid_module(placed_design_module):
+    from repro.routing import RoutingGrid
+    return RoutingGrid(placed_design_module, nx=16, ny=16)
+
+
+class TestGNets:
+    def test_feature_columns(self, gnets):
+        assert gnets.features.shape[1] == len(GNET_FEATURE_NAMES)
+
+    def test_area_is_product_of_spans(self, gnets):
+        span_v = gnets.features[:, 0]
+        span_h = gnets.features[:, 1]
+        area = gnets.features[:, 3]
+        assert np.allclose(area, span_h * span_v)
+
+    def test_npin_matches_design(self, gnets, placed_design_module):
+        deg = placed_design_module.net_degree()
+        assert np.allclose(gnets.features[:, 2], deg[gnets.net_ids])
+
+    def test_bounding_boxes_inside_grid(self, gnets, grid_module):
+        assert gnets.gx0.min() >= 0
+        assert gnets.gx1.max() < grid_module.nx
+        assert np.all(gnets.gx0 <= gnets.gx1)
+        assert np.all(gnets.gy0 <= gnets.gy1)
+
+    def test_large_net_filter(self, placed_design_module, grid_module):
+        unfiltered = compute_gnets(placed_design_module, grid_module,
+                                   max_fraction=None)
+        filtered = compute_gnets(placed_design_module, grid_module,
+                                 max_fraction=0.05)
+        assert filtered.num_gnets <= unfiltered.num_gnets
+        limit = 0.05 * grid_module.nx * grid_module.ny
+        assert np.all(filtered.features[:, 3] <= limit)
+
+    def test_covered_cells_count(self, gnets, grid_module):
+        for i in range(min(10, gnets.num_gnets)):
+            cells = gnets.covered_cells(i, grid_module.ny)
+            assert len(cells) == int(gnets.features[i, 3])
+
+    def test_min_degree_filter(self, placed_design_module, grid_module):
+        gnets = compute_gnets(placed_design_module, grid_module,
+                              min_degree=3)
+        assert np.all(gnets.features[:, 2] >= 3)
+
+
+class TestGCellFeatures:
+    def test_net_density_mass(self, gnets, grid_module):
+        """Each net contributes exactly span_h to total H density."""
+        h, v = net_density_maps(gnets, grid_module.nx, grid_module.ny)
+        expected_h = gnets.features[:, 1].sum()   # sum of span_h
+        expected_v = gnets.features[:, 0].sum()   # sum of span_v
+        assert h.sum() == pytest.approx(expected_h)
+        assert v.sum() == pytest.approx(expected_v)
+
+    def test_net_density_nonnegative(self, gnets, grid_module):
+        h, v = net_density_maps(gnets, grid_module.nx, grid_module.ny)
+        assert (h >= 0).all() and (v >= 0).all()
+
+    def test_pin_density_total(self, placed_design_module, grid_module):
+        pins = pin_density_map(placed_design_module, grid_module)
+        assert pins.sum() == pytest.approx(placed_design_module.num_pins)
+
+    def test_terminal_mask_binary(self, placed_design_module, grid_module):
+        mask = terminal_mask(placed_design_module, grid_module)
+        assert set(np.unique(mask)).issubset({0.0, 1.0})
+        assert mask.sum() > 0  # pads and macros exist
+
+    def test_rudy_mass(self, gnets, grid_module):
+        rudy = rudy_map(gnets, grid_module.nx, grid_module.ny)
+        expected = (gnets.features[:, 2]
+                    * (gnets.features[:, 1] + gnets.features[:, 0])).sum()
+        assert rudy.sum() == pytest.approx(expected)
+
+    def test_stack_shape_and_order(self, placed_design_module, grid_module,
+                                   gnets):
+        stack = gcell_feature_stack(placed_design_module, grid_module, gnets)
+        assert stack.shape == (16, 16, len(GCELL_FEATURE_NAMES))
+        h, v = net_density_maps(gnets, 16, 16)
+        assert np.allclose(stack[:, :, 0], h)
+        assert np.allclose(stack[:, :, 1], v)

@@ -1,0 +1,74 @@
+"""Tests for block-diagonal graph batching."""
+
+import numpy as np
+import pytest
+
+from repro.graph import batch_graphs, unbatch_values
+from repro.models.lhnn import LHNN, LHNNConfig
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def pair(tiny_graph_suite):
+    return tiny_graph_suite[0], tiny_graph_suite[1]
+
+
+@pytest.fixture(scope="module")
+def batched(pair):
+    return batch_graphs(list(pair))
+
+
+class TestBatchGraphs:
+    def test_counts_add_up(self, pair, batched):
+        a, b = pair
+        assert batched.num_gcells == a.num_gcells + b.num_gcells
+        assert batched.num_gnets == a.num_gnets + b.num_gnets
+        assert batched.vc.shape[0] == batched.num_gcells
+
+    def test_block_diagonal_structure(self, pair, batched):
+        a, b = pair
+        dense = batched.incidence.toarray()
+        # off-diagonal blocks must be zero
+        assert np.allclose(dense[:a.num_gcells, a.num_gnets:], 0.0)
+        assert np.allclose(dense[a.num_gcells:, :a.num_gnets], 0.0)
+        assert np.allclose(dense[:a.num_gcells, :a.num_gnets],
+                           a.incidence.toarray())
+
+    def test_labels_stacked(self, pair, batched):
+        a, b = pair
+        assert batched.congestion.shape[0] == a.num_gcells + b.num_gcells
+        assert np.allclose(batched.congestion[:a.num_gcells], a.congestion)
+
+    def test_single_graph_passthrough(self, pair):
+        assert batch_graphs([pair[0]]) is pair[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            batch_graphs([])
+
+    def test_metadata_offsets(self, pair, batched):
+        a, b = pair
+        assert batched.metadata["cell_counts"] == [a.num_gcells, b.num_gcells]
+        assert batched.metadata["names"] == [a.name, b.name]
+
+
+class TestBatchedForward:
+    def test_lhnn_forward_matches_per_design(self, pair, batched):
+        """Block-diagonal batching must give exactly the per-design outputs."""
+        model = LHNN(LHNNConfig(hidden=8), np.random.default_rng(0))
+        model.eval()
+        out_batched = model(batched).cls_prob.data
+        parts = unbatch_values(batched, out_batched)
+        for graph, part in zip(pair, parts):
+            single = model(graph).cls_prob.data
+            assert np.allclose(part, single, atol=1e-10)
+
+    def test_unbatch_roundtrip(self, pair, batched):
+        values = np.arange(batched.num_gcells, dtype=float)
+        parts = unbatch_values(batched, values)
+        assert len(parts) == 2
+        assert np.allclose(np.concatenate(parts), values)
+
+    def test_unbatch_on_plain_graph(self, pair):
+        out = unbatch_values(pair[0], np.zeros(pair[0].num_gcells))
+        assert len(out) == 1

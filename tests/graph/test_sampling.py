@@ -1,0 +1,86 @@
+"""Tests for neighbour sampling (paper's {6,3,2} fan-outs)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import sample_neighbors, sampled_operators
+from repro.nn import SparseMatrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def operator():
+    """10 destinations, 20 sources, dense-ish incidence."""
+    mat = sp.random(10, 20, density=0.6, random_state=7, format="csr")
+    mat.data[:] = 1.0
+    return SparseMatrix(mat)
+
+
+class TestSampleNeighbors:
+    def test_fanout_respected(self, operator, rng):
+        sampled = sample_neighbors(operator, fanout=3, rng=rng)
+        per_row = np.diff(sampled.mat.indptr)
+        assert per_row.max() <= 3
+
+    def test_rows_with_few_neighbours_keep_all(self, rng):
+        mat = sp.csr_matrix(np.array([[1.0, 1.0, 0.0], [0.0, 0.0, 1.0]]))
+        sampled = sample_neighbors(SparseMatrix(mat), fanout=5, rng=rng)
+        assert np.allclose(np.diff(sampled.mat.indptr), [2, 1])
+
+    def test_mean_normalization(self, operator, rng):
+        sampled = sample_neighbors(operator, fanout=4, rng=rng,
+                                   normalize="mean")
+        sums = sampled.row_sums()
+        nonzero = sums > 0
+        assert np.allclose(sums[nonzero], 1.0)
+
+    def test_sum_normalization_keeps_values(self, rng):
+        mat = sp.csr_matrix(np.array([[2.0, 0.0], [0.0, 3.0]]))
+        sampled = sample_neighbors(SparseMatrix(mat), fanout=5, rng=rng,
+                                   normalize="sum")
+        assert np.allclose(sampled.toarray(), mat.toarray())
+
+    def test_sampled_edges_are_subset(self, operator, rng):
+        sampled = sample_neighbors(operator, fanout=2, rng=rng)
+        full = operator.toarray() > 0
+        sub = sampled.toarray() > 0
+        assert np.all(full | ~sub)
+
+    def test_invalid_fanout(self, operator, rng):
+        with pytest.raises(ValueError):
+            sample_neighbors(operator, fanout=0, rng=rng)
+
+    def test_invalid_normalize(self, operator, rng):
+        with pytest.raises(ValueError):
+            sample_neighbors(operator, fanout=2, rng=rng, normalize="max")
+
+    def test_empty_rows_stay_empty(self, rng):
+        mat = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        sampled = sample_neighbors(SparseMatrix(mat), fanout=1, rng=rng)
+        assert sampled.row_sums()[0] == 0.0
+
+
+class TestSampledOperators:
+    def test_all_four_operators(self, small_graph, rng):
+        ops = sampled_operators(small_graph,
+                                {"featuregen": 6, "hypermp": 3,
+                                 "latticemp": 2}, rng)
+        assert set(ops) == {"op_nc_sum", "op_cn_mean", "op_nc_mean",
+                            "op_cc_mean"}
+        assert ops["op_nc_sum"].shape == small_graph.op_nc_sum.shape
+
+    def test_latticemp_fanout(self, small_graph, rng):
+        ops = sampled_operators(small_graph, {"latticemp": 2}, rng)
+        per_row = np.diff(ops["op_cc_mean"].mat.indptr)
+        assert per_row.max() <= 2
+
+    def test_different_draws_differ(self, small_graph):
+        a = sampled_operators(small_graph, {}, np.random.default_rng(0))
+        b = sampled_operators(small_graph, {}, np.random.default_rng(1))
+        assert not np.allclose(a["op_cc_mean"].toarray(),
+                               b["op_cc_mean"].toarray())

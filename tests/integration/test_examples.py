@@ -1,0 +1,44 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+``quickstart.py``, ``routability_flow.py`` and ``model_zoo.py`` train on
+the full cached suite (minutes), so they are exercised by the benchmark
+suite instead; the two examples below are self-contained and quick.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=300)
+
+
+class TestExamples:
+    def test_feature_recovery_runs(self):
+        result = run_example("feature_recovery.py")
+        assert result.returncode == 0, result.stderr
+        assert "topological one-hop reach" in result.stdout
+        assert "0.00e+00" in result.stdout  # exact recovery
+
+    def test_bookshelf_io_runs(self):
+        result = run_example("bookshelf_io.py")
+        assert result.returncode == 0, result.stderr
+        assert "parsed demo_bs" in result.stdout
+        assert "LH-graph" in result.stdout
+        assert "forward pass OK" in result.stdout
+
+    @pytest.mark.parametrize("name", ["quickstart.py", "routability_flow.py",
+                                      "model_zoo.py", "bookshelf_io.py",
+                                      "feature_recovery.py"])
+    def test_examples_have_docstring_and_main(self, name):
+        path = os.path.join(EXAMPLES, name)
+        source = open(path).read()
+        assert source.lstrip().startswith(('#!', '"""')), name
+        assert '__main__' in source, name

@@ -1,0 +1,166 @@
+"""Tests for LHNN blocks and the full architecture."""
+
+import numpy as np
+import pytest
+
+from repro.models import (FeatureGenBlock, HyperMPBlock, LHNN, LHNNConfig,
+                          LatticeMPBlock)
+from repro.nn import Tensor, SparseMatrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFeatureGenBlock:
+    def test_output_shapes(self, small_graph, rng):
+        block = FeatureGenBlock(4, 4, 16, rng)
+        vc1, vn1 = block(Tensor(small_graph.vc), Tensor(small_graph.vn),
+                         small_graph.op_nc_scaled_sum)
+        assert vc1.shape == (small_graph.num_gcells, 16)
+        assert vn1.shape == (small_graph.num_gnets, 16)
+
+    def test_edges_disabled_still_runs(self, small_graph, rng):
+        block = FeatureGenBlock(4, 4, 16, rng, edges_enabled=False)
+        vc1, vn1 = block(Tensor(small_graph.vc), Tensor(small_graph.vn),
+                         small_graph.op_nc_scaled_sum)
+        assert np.isfinite(vc1.data).all()
+
+    def test_edges_matter(self, small_graph, rng):
+        on = FeatureGenBlock(4, 4, 16, np.random.default_rng(3))
+        off = FeatureGenBlock(4, 4, 16, np.random.default_rng(3),
+                              edges_enabled=False)
+        vc_on, _ = on(Tensor(small_graph.vc), Tensor(small_graph.vn),
+                      small_graph.op_nc_scaled_sum)
+        vc_off, _ = off(Tensor(small_graph.vc), Tensor(small_graph.vn),
+                        small_graph.op_nc_scaled_sum)
+        assert not np.allclose(vc_on.data, vc_off.data)
+
+
+class TestHyperMPBlock:
+    def test_shapes_preserved(self, small_graph, rng):
+        h = 16
+        fg = FeatureGenBlock(4, 4, h, rng)
+        vc1, vn1 = fg(Tensor(small_graph.vc), Tensor(small_graph.vn),
+                      small_graph.op_nc_scaled_sum)
+        block = HyperMPBlock(h, rng)
+        vc, vn = block(vc1, vn1, vc1, vn1, small_graph.op_cn_mean,
+                       small_graph.op_nc_mean)
+        assert vc.shape == vc1.shape
+        assert vn.shape == vn1.shape
+
+    def test_topological_reach(self, small_graph, rng):
+        """A G-cell's update must depend on other cells of its G-net."""
+        h = 8
+        g = small_graph
+        data_rng = np.random.default_rng(9)
+        vc = Tensor(data_rng.normal(size=(g.num_gcells, h)),
+                    requires_grad=True)
+        vn = Tensor(data_rng.normal(size=(g.num_gnets, h)))
+        block = HyperMPBlock(h, rng)
+        out_c, _ = block(vc, vn,
+                         Tensor(data_rng.normal(size=(g.num_gcells, h))),
+                         Tensor(data_rng.normal(size=(g.num_gnets, h))),
+                         g.op_cn_mean, g.op_nc_mean)
+        # Pick a G-net with area >= 2 and check cross-cell gradient.
+        areas = g.incidence.col_sums()
+        net = int(np.argmax(areas))
+        cells = g.incidence.mat[:, net].nonzero()[0]
+        src, dst = int(cells[0]), int(cells[-1])
+        assert src != dst
+        out_c[dst].sum().backward()
+        assert np.abs(vc.grad[src]).sum() > 0
+
+
+class TestLatticeMPBlock:
+    def test_skip_connection_at_zero_weights(self, small_graph, rng):
+        block = LatticeMPBlock(8, rng)
+        for p in block.parameters():
+            p.data[...] = 0.0
+        x = np.random.default_rng(1).normal(size=(small_graph.num_gcells, 8))
+        out = block(Tensor(x), small_graph.op_cc_mean)
+        assert np.allclose(out.data, x)
+
+    def test_geometric_reach_is_one_hop(self, small_graph, rng):
+        g = small_graph
+        block = LatticeMPBlock(4, rng)
+        data_rng = np.random.default_rng(9)
+        x = Tensor(data_rng.normal(size=(g.num_gcells, 4)),
+                   requires_grad=True)
+        out = block(x, g.op_cc_mean)
+        ny = g.ny
+        centre = (g.nx // 2) * ny + (g.ny // 2)
+        out[centre].sum().backward()
+        touched = set(np.flatnonzero(np.abs(x.grad).sum(axis=1)).tolist())
+        # gradient reaches at most the centre and its 4 lattice neighbours
+        allowed = {centre, centre - 1, centre + 1, centre - ny, centre + ny}
+        assert centre in touched
+        assert touched <= allowed
+        assert len(touched) > 1  # some neighbour actually contributes
+
+
+class TestLHNN:
+    def test_forward_shapes_uni(self, small_graph, rng):
+        model = LHNN(LHNNConfig(hidden=16, channels=1), rng)
+        out = model(small_graph)
+        assert out.cls_prob.shape == (small_graph.num_gcells, 1)
+        assert out.reg_pred.shape == (small_graph.num_gcells, 1)
+
+    def test_forward_shapes_duo(self, small_graph, rng):
+        model = LHNN(LHNNConfig(hidden=16, channels=2), rng)
+        out = model(small_graph)
+        assert out.cls_prob.shape == (small_graph.num_gcells, 2)
+
+    def test_probabilities_in_unit_interval(self, small_graph, rng):
+        model = LHNN(LHNNConfig(hidden=16), rng)
+        out = model(small_graph)
+        assert (out.cls_prob.data >= 0).all()
+        assert (out.cls_prob.data <= 1).all()
+
+    def test_no_jointing_drops_reg(self, small_graph, rng):
+        model = LHNN(LHNNConfig(hidden=16, use_jointing=False), rng)
+        out = model(small_graph)
+        assert out.reg_pred is None
+        assert model.head_reg is None
+
+    def test_feature_override(self, small_graph, rng):
+        model = LHNN(LHNNConfig(hidden=16), rng)
+        base = model(small_graph).cls_prob.data
+        zeros = model(small_graph,
+                      vc=Tensor(np.zeros_like(small_graph.vc)),
+                      vn=Tensor(np.zeros_like(small_graph.vn))).cls_prob.data
+        assert not np.allclose(base, zeros)
+
+    def test_ablation_flags_change_output(self, small_graph):
+        base = LHNN(LHNNConfig(hidden=16), np.random.default_rng(5))
+        out_full = base(small_graph).cls_prob.data
+        for flag in ("use_featuregen_edges", "use_hypermp_edges",
+                     "use_latticemp_edges"):
+            cfg = LHNNConfig(hidden=16, **{flag: False})
+            ablated = LHNN(cfg, np.random.default_rng(5))
+            out_ab = ablated(small_graph).cls_prob.data
+            assert not np.allclose(out_full, out_ab), flag
+
+    def test_parameter_count_stable_under_edge_ablation(self, small_graph):
+        """Paper keeps depth/parameters ~same when removing edges."""
+        full = LHNN(LHNNConfig(hidden=16), np.random.default_rng(0))
+        ablated = LHNN(LHNNConfig(hidden=16, use_hypermp_edges=False),
+                       np.random.default_rng(0))
+        assert full.num_parameters() == ablated.num_parameters()
+
+    def test_gradients_reach_all_parameters(self, small_graph, rng):
+        model = LHNN(LHNNConfig(hidden=8), rng)
+        out = model(small_graph)
+        (out.cls_prob.sum() + out.reg_pred.sum()).backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_sampled_operators_accepted(self, small_graph, rng):
+        from repro.graph import sampled_operators
+        model = LHNN(LHNNConfig(hidden=8), rng)
+        ops = sampled_operators(small_graph,
+                                {"featuregen": 6, "hypermp": 3,
+                                 "latticemp": 2}, rng)
+        out = model(small_graph, operators=ops)
+        assert np.isfinite(out.cls_prob.data).all()

@@ -1,0 +1,107 @@
+"""Property-based gradient checks (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor
+
+SHAPES = st.tuples(st.integers(1, 4), st.integers(1, 4))
+
+
+def finite_arrays(shape):
+    return arrays(np.float64, shape,
+                  elements=st.floats(-3.0, 3.0, allow_nan=False))
+
+
+def numeric_grad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        orig = x[i]
+        x[i] = orig + eps
+        fp = f()
+        x[i] = orig - eps
+        fm = f()
+        x[i] = orig
+        g[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), shape=SHAPES)
+def test_add_mul_chain_gradient(data, shape):
+    a_val = data.draw(finite_arrays(shape))
+    b_val = data.draw(finite_arrays(shape))
+    a = Tensor(a_val.copy(), requires_grad=True)
+    b = Tensor(b_val.copy(), requires_grad=True)
+    ((a * b + a) * b).sum().backward()
+    ng_a = numeric_grad(lambda: float(((a.data * b.data + a.data) * b.data).sum()),
+                        a.data)
+    assert np.allclose(a.grad, ng_a, atol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), shape=SHAPES)
+def test_tanh_sigmoid_composition_gradient(data, shape):
+    x_val = data.draw(finite_arrays(shape))
+    x = Tensor(x_val.copy(), requires_grad=True)
+    x.tanh().sigmoid().sum().backward()
+    ng = numeric_grad(
+        lambda: float(Tensor(x.data).tanh().sigmoid().data.sum()), x.data)
+    assert np.allclose(x.grad, ng, atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data(), n=st.integers(1, 4), k=st.integers(1, 4),
+       m=st.integers(1, 4))
+def test_matmul_gradient(data, n, k, m):
+    a_val = data.draw(finite_arrays((n, k)))
+    b_val = data.draw(finite_arrays((k, m)))
+    a = Tensor(a_val.copy(), requires_grad=True)
+    b = Tensor(b_val.copy(), requires_grad=True)
+    (a @ b).sum().backward()
+    ng_a = numeric_grad(lambda: float((a.data @ b.data).sum()), a.data)
+    ng_b = numeric_grad(lambda: float((a.data @ b.data).sum()), b.data)
+    assert np.allclose(a.grad, ng_a, atol=1e-4)
+    assert np.allclose(b.grad, ng_b, atol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), shape=SHAPES)
+def test_sum_then_broadcast_consistency(data, shape):
+    """sum(axis).backward distributes gradient uniformly along that axis."""
+    x_val = data.draw(finite_arrays(shape))
+    x = Tensor(x_val.copy(), requires_grad=True)
+    x.sum(axis=0).sum().backward()
+    assert np.allclose(x.grad, np.ones(shape))
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), shape=SHAPES)
+def test_mean_gradient_scales(data, shape):
+    x_val = data.draw(finite_arrays(shape))
+    x = Tensor(x_val.copy(), requires_grad=True)
+    x.mean().backward()
+    assert np.allclose(x.grad, 1.0 / x.size)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), shape=SHAPES)
+def test_relu_gradient_is_mask(data, shape):
+    x_val = data.draw(finite_arrays(shape))
+    x = Tensor(x_val.copy(), requires_grad=True)
+    x.relu().sum().backward()
+    assert np.allclose(x.grad, (x.data > 0).astype(float))
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data(), shape=SHAPES)
+def test_sigmoid_bounded_output(data, shape):
+    x_val = data.draw(arrays(np.float64, shape,
+                             elements=st.floats(-1e6, 1e6,
+                                                allow_nan=False)))
+    out = Tensor(x_val).sigmoid().data
+    assert np.all(out >= 0.0) and np.all(out <= 1.0)
+    assert np.isfinite(out).all()

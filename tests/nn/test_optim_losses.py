@@ -1,0 +1,170 @@
+"""Tests for optimisers, schedules and loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, BCELoss, CosineLR, GammaWeightedBCE, GANLoss,
+                      JointLoss, L1Loss, Linear, MLP, MSELoss, Parameter,
+                      SGD, StepLR, Tensor, clip_grad_norm)
+from repro.nn import functional as F
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestOptimizers:
+    def test_sgd_step_direction(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == pytest.approx(0.95)
+
+    def test_sgd_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()
+        first = p.data.copy()
+        p.grad = np.array([1.0])
+        opt.step()
+        assert (first[0] - p.data[0]) > 1.0  # second step larger
+
+    def test_sgd_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert p.data[0] == pytest.approx(0.95)
+
+    def test_adam_converges_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            opt.zero_grad()
+            p.grad = 2 * p.data  # d/dp p^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_adam_skips_none_grads(self):
+        p = Parameter(np.array([1.0]))
+        Adam([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clip_noop_when_small(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=5.0)
+        assert np.allclose(p.grad, 0.1)
+
+
+class TestSchedules:
+    def test_step_lr_decays(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_lr_endpoints(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=1.0)
+        sched = CosineLR(opt, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = MSELoss()(Tensor(np.array([1.0, 3.0])), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(5.0)
+
+    def test_l1_value(self):
+        loss = L1Loss()(Tensor(np.array([1.0, -3.0])), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_bce_perfect_prediction_near_zero(self):
+        prob = Tensor(np.array([0.999999, 0.000001]))
+        loss = BCELoss()(prob, np.array([1.0, 0.0]))
+        assert loss.item() < 1e-4
+
+    def test_gamma_bce_downweights_negatives(self):
+        prob = Tensor(np.array([0.3]))
+        target = np.array([0.0])
+        full = GammaWeightedBCE(gamma=1.0)(prob, target).item()
+        weak = GammaWeightedBCE(gamma=0.5)(prob, target).item()
+        assert weak == pytest.approx(0.5 * full)
+
+    def test_gamma_bce_keeps_positive_weight(self):
+        prob = Tensor(np.array([0.3]))
+        target = np.array([1.0])
+        full = GammaWeightedBCE(gamma=1.0)(prob, target).item()
+        weak = GammaWeightedBCE(gamma=0.1)(prob, target).item()
+        assert weak == pytest.approx(full)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            GammaWeightedBCE(gamma=0.0)
+        with pytest.raises(ValueError):
+            GammaWeightedBCE(gamma=1.5)
+
+    def test_joint_loss_drops_regression(self):
+        prob = Tensor(np.array([0.5]))
+        reg = Tensor(np.array([10.0]))
+        with_reg = JointLoss(use_regression=True)(
+            prob, reg, np.array([1.0]), np.array([0.0]))
+        without = JointLoss(use_regression=False)(
+            prob, reg, np.array([1.0]), np.array([0.0]))
+        assert with_reg.item() > without.item()
+
+    def test_joint_loss_none_reg_pred(self):
+        prob = Tensor(np.array([0.5]))
+        loss = JointLoss(use_regression=True)(
+            prob, None, np.array([1.0]), np.array([0.0]))
+        assert np.isfinite(loss.item())
+
+    def test_gan_loss_signs(self):
+        real_logits = Tensor(np.array([5.0]))
+        gl = GANLoss()
+        assert gl(real_logits, True).item() < gl(real_logits, False).item()
+
+    def test_gan_loss_gradient_direction(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        GANLoss()(x, True).backward()
+        assert x.grad[0] < 0  # increase logit to look more real
+
+    def test_gan_loss_stable_extremes(self):
+        x = Tensor(np.array([-500.0, 500.0]))
+        assert np.isfinite(GANLoss()(x, True).item())
+        assert np.isfinite(GANLoss()(x, False).item())
+
+
+class TestEndToEndTraining:
+    def test_mlp_learns_xor(self, rng):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([[0.0], [1.0], [1.0], [0.0]])
+        model = MLP([2, 16, 1], rng)
+        opt = Adam(model.parameters(), lr=5e-2)
+        loss_fn = BCELoss()
+        for _ in range(400):
+            opt.zero_grad()
+            prob = F.sigmoid(model(Tensor(X)))
+            loss = loss_fn(prob, y)
+            loss.backward()
+            opt.step()
+        pred = F.sigmoid(model(Tensor(X))).data > 0.5
+        assert np.array_equal(pred.reshape(-1), y.reshape(-1) > 0.5)

@@ -1,0 +1,60 @@
+"""Tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (CheckpointError, MLP, Tensor, load_checkpoint,
+                      save_checkpoint)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestCheckpointRoundTrip:
+    def test_parameters_restored(self, rng, tmp_path):
+        m1 = MLP([4, 8, 2], rng)
+        path = save_checkpoint(m1, str(tmp_path / "m.npz"))
+        m2 = MLP([4, 8, 2], np.random.default_rng(99))
+        load_checkpoint(m2, path)
+        x = rng.normal(size=(5, 4))
+        assert np.allclose(m1(Tensor(x)).data, m2(Tensor(x)).data)
+
+    def test_metadata_roundtrip(self, rng, tmp_path):
+        m = MLP([2, 4, 1], rng)
+        path = save_checkpoint(m, str(tmp_path / "m.npz"),
+                               metadata={"epochs": 20, "f1": 41.5})
+        meta = load_checkpoint(m, path)
+        assert meta == {"epochs": 20, "f1": 41.5}
+
+    def test_extension_appended(self, rng, tmp_path):
+        m = MLP([2, 4, 1], rng)
+        path = save_checkpoint(m, str(tmp_path / "noext"))
+        assert path.endswith(".npz")
+        load_checkpoint(m, str(tmp_path / "noext"))  # finds .npz
+
+    def test_lhnn_checkpoint(self, rng, tmp_path, small_graph):
+        from repro.models.lhnn import LHNN, LHNNConfig
+        m1 = LHNN(LHNNConfig(hidden=8), rng)
+        path = save_checkpoint(m1, str(tmp_path / "lhnn.npz"))
+        m2 = LHNN(LHNNConfig(hidden=8), np.random.default_rng(5))
+        load_checkpoint(m2, path)
+        out1 = m1(small_graph).cls_prob.data
+        out2 = m2(small_graph).cls_prob.data
+        assert np.allclose(out1, out2)
+
+
+class TestCheckpointErrors:
+    def test_architecture_mismatch(self, rng, tmp_path):
+        m1 = MLP([4, 8, 2], rng)
+        path = save_checkpoint(m1, str(tmp_path / "m.npz"))
+        wrong = MLP([4, 16, 2], rng)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(wrong, path)
+
+    def test_non_checkpoint_file(self, rng, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(MLP([2, 2], rng), path)

@@ -1,0 +1,130 @@
+"""Tests for sparse message-passing primitives and the functional API."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import SparseMatrix, Tensor, degree_vector, row_normalize, spmm
+from repro.nn import functional as F
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSparseMatrix:
+    def test_from_dense(self):
+        m = SparseMatrix(np.eye(3))
+        assert m.shape == (3, 3)
+        assert m.nnz == 3
+
+    def test_from_coo_duplicates_summed(self):
+        m = SparseMatrix.from_coo([0, 0], [1, 1], [1.0, 2.0], shape=(2, 2))
+        assert m.toarray()[0, 1] == 3.0
+
+    def test_row_col_sums(self):
+        m = SparseMatrix(np.array([[1.0, 1.0], [0.0, 1.0]]))
+        assert np.allclose(m.row_sums(), [2, 1])
+        assert np.allclose(m.col_sums(), [1, 2])
+
+    def test_transpose_cached(self):
+        m = SparseMatrix(sp.random(5, 3, density=0.5, random_state=0))
+        t1 = m.T
+        t2 = m.T
+        assert t1 is t2
+        assert t1.shape == (3, 5)
+
+    def test_degree_vector(self):
+        m = SparseMatrix(np.array([[1.0, 1.0, 1.0], [1.0, 0.0, 0.0]]))
+        assert np.allclose(degree_vector(m, axis=1), [3, 1])
+        assert np.allclose(degree_vector(m, axis=0), [2, 1, 1])
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self, rng):
+        m = SparseMatrix(sp.random(10, 6, density=0.4, random_state=1,
+                                   format="csr"))
+        m.mat.data[:] = 1.0
+        normed = row_normalize(m)
+        sums = normed.row_sums()
+        nonzero = m.row_sums() > 0
+        assert np.allclose(sums[nonzero], 1.0)
+
+    def test_zero_rows_stay_zero(self):
+        m = SparseMatrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        normed = row_normalize(m)
+        assert np.allclose(normed.toarray()[0], 0.0)
+        assert np.allclose(normed.toarray()[1], 0.5)
+
+
+class TestSpmm:
+    def test_matches_dense(self, rng):
+        a = sp.random(7, 4, density=0.5, random_state=2, format="csr")
+        x = rng.normal(size=(4, 3))
+        out = spmm(SparseMatrix(a), Tensor(x))
+        assert np.allclose(out.data, a @ x)
+
+    def test_backward_is_transpose(self, rng):
+        a = SparseMatrix(sp.random(5, 4, density=0.6, random_state=3,
+                                   format="csr"))
+        x = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        w = rng.normal(size=(5, 2))
+        (spmm(a, x) * Tensor(w)).sum().backward()
+        assert np.allclose(x.grad, a.mat.T @ w)
+
+    def test_accepts_raw_scipy(self, rng):
+        a = sp.eye(3).tocsr()
+        x = Tensor(rng.normal(size=(3, 2)))
+        assert np.allclose(spmm(a, x).data, x.data)
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 7)))
+        out = F.softmax(x, axis=-1).data
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 5))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        assert np.allclose(a, b)
+
+    def test_log_softmax_consistency(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        assert np.allclose(F.log_softmax(x).data,
+                           np.log(F.softmax(x).data), atol=1e-10)
+
+    def test_logsigmoid_matches_naive(self, rng):
+        x = Tensor(rng.normal(size=10))
+        assert np.allclose(F.logsigmoid(x).data,
+                           np.log(1 / (1 + np.exp(-x.data))), atol=1e-10)
+
+    def test_logsigmoid_stable_at_extremes(self):
+        out = F.logsigmoid(Tensor(np.array([-800.0, 800.0]))).data
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(-800.0)
+
+    def test_logsigmoid_gradient(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        F.logsigmoid(x).backward(np.array([1.0]))
+        assert x.grad[0] == pytest.approx(0.5)
+
+    def test_mse_helper(self):
+        assert F.mse(Tensor(np.array([2.0])), np.array([0.0])).item() == 4.0
+
+    def test_bce_helper_symmetric(self):
+        a = F.binary_cross_entropy(Tensor(np.array([0.7])), np.array([1.0]))
+        b = F.binary_cross_entropy(Tensor(np.array([0.3])), np.array([0.0]))
+        assert a.item() == pytest.approx(b.item())
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_where_helper(self):
+        out = F.where(np.array([True, False]),
+                      Tensor(np.array([1.0, 1.0])),
+                      Tensor(np.array([2.0, 2.0])))
+        assert np.allclose(out.data, [1.0, 2.0])

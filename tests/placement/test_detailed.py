@@ -1,0 +1,54 @@
+"""Tests for the detailed-placement swap refinement."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import DesignSpec, generate_design
+from repro.placement import (detailed_place, hpwl, legalize, overlap_count,
+                             place)
+
+
+@pytest.fixture
+def legal_design():
+    d = generate_design(DesignSpec(name="dp", seed=81, num_movable=120,
+                                   num_terminals=10, num_macros=1,
+                                   die_size=32.0))
+    place(d)
+    return d
+
+
+class TestDetailedPlace:
+    def test_never_increases_hpwl(self, legal_design):
+        d = legal_design.copy()
+        result = detailed_place(d)
+        assert result.hpwl_after <= result.hpwl_before + 1e-9
+        assert result.improvement >= 0.0
+
+    def test_preserves_legality(self, legal_design):
+        d = legal_design.copy()
+        detailed_place(d)
+        assert overlap_count(d) == 0
+
+    def test_fixed_cells_untouched(self, legal_design):
+        d = legal_design.copy()
+        fx = d.cell_x[d.cell_fixed].copy()
+        detailed_place(d)
+        assert np.allclose(d.cell_x[d.cell_fixed], fx)
+
+    def test_rows_preserved(self, legal_design):
+        d = legal_design.copy()
+        ys = d.cell_y.copy()
+        detailed_place(d)
+        assert np.allclose(d.cell_y, ys)  # swaps are horizontal only
+
+    def test_hpwl_consistency(self, legal_design):
+        d = legal_design.copy()
+        result = detailed_place(d)
+        assert result.hpwl_after == pytest.approx(hpwl(d))
+
+    def test_converges_early_when_no_improvement(self, legal_design):
+        d = legal_design.copy()
+        detailed_place(d, max_passes=5)
+        again = detailed_place(d, max_passes=5)
+        assert again.swaps_applied == 0
+        assert again.passes == 1

@@ -1,0 +1,60 @@
+"""Tests for 2-layer assignment and via analysis."""
+
+import numpy as np
+import pytest
+
+from repro.routing import (GlobalRouter, RouterConfig, assign_layers,
+                           via_map_of_paths)
+
+
+class TestViaMapOfPaths:
+    def test_straight_path_has_endpoint_vias_only(self):
+        stats = via_map_of_paths([[(0, 0), (1, 0), (2, 0)]], 4, 4)
+        assert stats.num_vias == 2          # two endpoints
+        assert stats.horizontal_wirelength == 2
+        assert stats.vertical_wirelength == 0
+
+    def test_l_path_has_corner_via(self):
+        stats = via_map_of_paths([[(0, 0), (1, 0), (1, 1)]], 4, 4)
+        assert stats.num_vias == 3          # corner + two endpoints
+        assert stats.via_map[1, 0] >= 1     # the corner G-cell
+
+    def test_zigzag_counts_every_turn(self):
+        path = [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]
+        stats = via_map_of_paths([path], 4, 4)
+        assert stats.num_vias == 3 + 2      # 3 turns + endpoints
+
+    def test_wirelength_split(self):
+        path = [(0, 0), (1, 0), (1, 1), (1, 2)]
+        stats = via_map_of_paths([path], 4, 4)
+        assert stats.horizontal_wirelength == 1
+        assert stats.vertical_wirelength == 2
+        assert stats.total_wirelength == 3
+
+    def test_empty_and_single_cell_paths(self):
+        stats = via_map_of_paths([[], [(1, 1)]], 4, 4)
+        assert stats.num_vias == 0
+        assert stats.total_wirelength == 0
+        assert stats.vias_per_unit_length == 0.0
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(ValueError):
+            via_map_of_paths([[(0, 0), (1, 1)]], 4, 4)
+
+
+class TestAssignLayers:
+    def test_on_routed_design(self, placed_design, router_config):
+        router = GlobalRouter(placed_design.copy(), router_config)
+        router.run()
+        stats = assign_layers(router)
+        assert stats.total_wirelength > 0
+        assert stats.num_vias > 0
+        assert stats.via_map.shape == (router.grid.nx, router.grid.ny)
+        # Total assigned wirelength equals accumulated edge usage.
+        usage = router.grid.h_usage.sum() + router.grid.v_usage.sum()
+        assert stats.total_wirelength == pytest.approx(usage)
+
+    def test_requires_run(self, placed_design, router_config):
+        router = GlobalRouter(placed_design.copy(), router_config)
+        with pytest.raises(ValueError):
+            assign_layers(router)

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface (fast paths only)."""
+
+import numpy as np
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli._build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = cli._build_parser().parse_args(["train"])
+        assert args.epochs == 20
+        assert not args.duo
+
+    def test_predict_requires_args(self):
+        with pytest.raises(SystemExit):
+            cli._build_parser().parse_args(["predict"])
+
+
+class TestInfo:
+    def test_info_runs(self, capsys):
+        assert cli.main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "numpy" in out
+
+
+class TestModelRestore:
+    def test_restore_uni_and_duo(self, tmp_path):
+        from repro.models.lhnn import LHNN, LHNNConfig
+        from repro.nn.serialize import save_checkpoint
+        for channels in (1, 2):
+            model = LHNN(LHNNConfig(channels=channels),
+                         np.random.default_rng(0))
+            path = save_checkpoint(model, str(tmp_path / f"c{channels}.npz"),
+                                   metadata={"channels": channels})
+            restored, meta = cli._restore_model(path)
+            assert restored.config.channels == channels
+            assert meta["channels"] == channels

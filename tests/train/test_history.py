@@ -1,0 +1,55 @@
+"""Tests for TrainingHistory."""
+
+import pytest
+
+from repro.train import TrainingHistory
+
+
+class TestTrainingHistory:
+    def test_record_and_counts(self):
+        h = TrainingHistory()
+        h.record(1.0, lr=0.01)
+        h.record(0.5, lr=0.01, metrics={"f1": 30.0})
+        assert h.num_epochs == 2
+        assert h.lrs == [0.01, 0.01]
+
+    def test_improved_over_first(self):
+        h = TrainingHistory()
+        h.record(1.0)
+        assert not h.improved_over_first()
+        h.record(0.4)
+        assert h.improved_over_first()
+
+    def test_best_epoch(self):
+        h = TrainingHistory()
+        for f1 in (10.0, 35.0, 20.0):
+            h.record(1.0, metrics={"f1": f1})
+        assert h.best_epoch("f1") == 1
+
+    def test_best_epoch_without_metrics(self):
+        with pytest.raises(ValueError):
+            TrainingHistory().best_epoch()
+
+    def test_plateau_length(self):
+        h = TrainingHistory()
+        for loss in (1.0, 0.5, 0.5000001, 0.5000002):
+            h.record(loss)
+        assert h.plateau_length() == 2
+
+    def test_no_plateau_when_improving(self):
+        h = TrainingHistory()
+        for loss in (1.0, 0.8, 0.5):
+            h.record(loss)
+        assert h.plateau_length() == 0
+
+    def test_ascii_curve_shape(self):
+        h = TrainingHistory()
+        for i in range(30):
+            h.record(1.0 / (i + 1))
+        art = h.ascii_curve(width=20, height=5)
+        lines = art.split("\n")
+        assert len(lines) == 5 + 2
+        assert "*" in art
+
+    def test_ascii_curve_empty(self):
+        assert "no epochs" in TrainingHistory().ascii_curve()

@@ -1,0 +1,98 @@
+"""Training-loop tests: each model family trains and improves over chance."""
+
+import numpy as np
+import pytest
+
+from repro.data import CongestionDataset
+from repro.models.lhnn import LHNNConfig
+from repro.train import (TrainConfig, evaluate_lhnn, evaluate_mlp,
+                         evaluate_pix2pix, evaluate_unet, seeded_runs,
+                         train_lhnn, train_mlp, train_pix2pix, train_unet)
+
+
+@pytest.fixture(scope="module")
+def dataset(tiny_graph_suite):
+    return CongestionDataset(tiny_graph_suite, channels=1)
+
+
+@pytest.fixture(scope="module")
+def train_samples(dataset):
+    return dataset.train_samples()
+
+
+@pytest.fixture(scope="module")
+def test_samples(dataset):
+    return dataset.test_samples()
+
+
+FAST = TrainConfig(epochs=4, seed=0)
+
+
+class TestLHNNTraining:
+    def test_loss_learns_on_train_set(self, train_samples):
+        model = train_lhnn(train_samples, TrainConfig(epochs=8, seed=0),
+                           LHNNConfig(hidden=16))
+        metrics = evaluate_lhnn(model, train_samples)
+        assert metrics["acc"] > 50.0
+        assert metrics["f1"] > 0.0
+
+    def test_evaluation_keys(self, train_samples, test_samples):
+        model = train_lhnn(train_samples, FAST, LHNNConfig(hidden=16))
+        metrics = evaluate_lhnn(model, test_samples)
+        assert set(metrics) == {"f1", "acc"}
+        assert 0 <= metrics["f1"] <= 100
+        assert 0 <= metrics["acc"] <= 100
+
+    def test_deterministic_given_seed(self, train_samples, test_samples):
+        m1 = train_lhnn(train_samples, TrainConfig(epochs=2, seed=7),
+                        LHNNConfig(hidden=8))
+        m2 = train_lhnn(train_samples, TrainConfig(epochs=2, seed=7),
+                        LHNNConfig(hidden=8))
+        r1 = evaluate_lhnn(m1, test_samples)
+        r2 = evaluate_lhnn(m2, test_samples)
+        assert r1 == r2
+
+    def test_sampling_mode_runs(self, train_samples, test_samples):
+        cfg = TrainConfig(epochs=2, seed=0, use_sampling=True)
+        model = train_lhnn(train_samples, cfg, LHNNConfig(hidden=8))
+        metrics = evaluate_lhnn(model, test_samples)
+        assert np.isfinite(metrics["f1"])
+
+    def test_no_jointing_config(self, train_samples):
+        model = train_lhnn(train_samples, FAST,
+                           LHNNConfig(hidden=8, use_jointing=False))
+        assert model.head_reg is None
+
+
+class TestBaselineTraining:
+    def test_mlp_trains(self, train_samples, test_samples):
+        model = train_mlp(train_samples, FAST)
+        metrics = evaluate_mlp(model, test_samples)
+        assert metrics["acc"] > 50.0
+
+    def test_unet_trains(self, train_samples, test_samples):
+        model = train_unet(train_samples, TrainConfig(epochs=2, seed=0),
+                           base_width=4)
+        metrics = evaluate_unet(model, test_samples)
+        assert np.isfinite(metrics["f1"])
+
+    def test_unet_crop_mode(self, train_samples, test_samples):
+        cfg = TrainConfig(epochs=2, seed=0, crop=8)
+        model = train_unet(train_samples, cfg, base_width=4)
+        metrics = evaluate_unet(model, test_samples, crop=8)
+        assert np.isfinite(metrics["f1"])
+
+    def test_pix2pix_trains(self, train_samples, test_samples):
+        model = train_pix2pix(train_samples, TrainConfig(epochs=2, seed=0),
+                              base_width=4)
+        metrics = evaluate_pix2pix(model, test_samples)
+        assert np.isfinite(metrics["f1"])
+
+
+class TestSeededRuns:
+    def test_aggregation(self):
+        def fake_run(seed):
+            return {"f1": 40.0 + seed, "acc": 90.0}
+        summary = seeded_runs(fake_run, [0, 2])
+        assert summary.f1_mean == pytest.approx(41.0)
+        assert summary.f1_std == pytest.approx(1.0)
