@@ -6,15 +6,22 @@ consumption tends to be unacceptable when utilizing a global router"),
 while an LHNN forward pass is cheap.  These benches time each pipeline
 stage and LHNN inference on the default suite scale, so regressions in any
 substrate show up in CI.
+
+The ``train_step`` pair compares the per-design training loop against the
+block-diagonal batched step over the same designs (the training substrate
+of :mod:`repro.train.trainer`): batching must stay measurably faster, and
+``test_bench_neighbor_sampling`` tracks the vectorised CSR sampler.
 """
 
 import numpy as np
 import pytest
 
 from repro.circuit import DesignSpec, generate_design
-from repro.graph import build_lhgraph
+from repro.graph import BatchCache, build_lhgraph, sampled_operators
 from repro.models.lhnn import LHNN, LHNNConfig
 from repro.nn import Tensor, no_grad
+from repro.nn.losses import JointLoss
+from repro.nn.optim import Adam
 from repro.placement import PlacementConfig, place
 from repro.routing import GlobalRouter, RouterConfig, extract_maps
 
@@ -79,8 +86,6 @@ def test_bench_lhnn_inference(bench_graph, benchmark):
 
 
 def test_bench_lhnn_train_step(bench_graph, benchmark):
-    from repro.nn import Adam
-    from repro.nn.losses import JointLoss
     model = LHNN(LHNNConfig(), np.random.default_rng(0))
     opt = Adam(model.parameters(), lr=2e-3)
     loss_fn = JointLoss()
@@ -97,3 +102,81 @@ def test_bench_lhnn_train_step(bench_graph, benchmark):
 
     loss = benchmark(step)
     assert np.isfinite(loss.item())
+
+
+# ---------------------------------------------------------------------------
+# Batched vs per-design training substrate
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def bench_graph_suite():
+    """Labelled LH-graphs of distinct small designs (one training batch).
+
+    Sized to the regime the batched substrate targets: per-design graphs
+    small enough that per-call overhead (one numpy/scipy dispatch per
+    operator per design) rivals the sparse compute itself, which is
+    exactly the scale of the seeded training suite.
+    """
+    graphs = []
+    for seed in range(6):
+        design = generate_design(DesignSpec(name=f"bench{seed}",
+                                            seed=100 + seed,
+                                            num_movable=200, die_size=32.0))
+        place(design, PlacementConfig())
+        routed = GlobalRouter(design, RouterConfig(nx=16, ny=16,
+                                                   capacity_h=10.0,
+                                                   capacity_v=10.0,
+                                                   rrr_iterations=3)).run()
+        graphs.append(build_lhgraph(design, routed.grid,
+                                    extract_maps(routed.grid)))
+    return graphs
+
+
+def _train_step(model, opt, loss_fn, graph):
+    opt.zero_grad()
+    out = model(graph)
+    loss = loss_fn(out.cls_prob, out.reg_pred,
+                   graph.congestion[:, :1], graph.demand[:, :1])
+    loss.backward()
+    opt.step()
+    return loss
+
+
+def test_bench_train_epoch_per_design(bench_graph_suite, benchmark):
+    """Baseline: one optimizer step per design (the pre-batching loop)."""
+    model = LHNN(LHNNConfig(), np.random.default_rng(0))
+    opt = Adam(model.parameters(), lr=2e-3)
+    loss_fn = JointLoss()
+
+    def epoch():
+        return [_train_step(model, opt, loss_fn, g)
+                for g in bench_graph_suite]
+
+    losses = benchmark(epoch)
+    assert all(np.isfinite(l.item()) for l in losses)
+
+
+def test_bench_train_epoch_batched(bench_graph_suite, benchmark):
+    """One block-diagonal step over the same designs; must beat the
+    per-design epoch above (fewer, larger sparse matmuls + cached
+    composition)."""
+    model = LHNN(LHNNConfig(), np.random.default_rng(0))
+    opt = Adam(model.parameters(), lr=2e-3 * len(bench_graph_suite))
+    loss_fn = JointLoss()
+    cache = BatchCache()
+    cache.get(bench_graph_suite)  # steady-state: composition pre-cached
+
+    def epoch():
+        return _train_step(model, opt, loss_fn,
+                           cache.get(bench_graph_suite))
+
+    loss = benchmark(epoch)
+    assert np.isfinite(loss.item())
+    assert cache.misses == 1  # every benched epoch reused the composition
+
+
+def test_bench_neighbor_sampling(bench_graph, benchmark):
+    """Vectorised CSR neighbour sampling ({6,3,2} fan-outs, all relations)."""
+    rng = np.random.default_rng(0)
+    ops = benchmark(sampled_operators, bench_graph,
+                    {"featuregen": 6, "hypermp": 3, "latticemp": 2}, rng)
+    assert np.diff(ops["op_cc_mean"].mat.indptr).max() <= 2

@@ -4,7 +4,8 @@ Usage (after ``pip install -e .``)::
 
     python -m repro.cli prepare   [--scale 1.0]          # build & cache suite
     python -m repro.cli stats                             # Table-1 style stats
-    python -m repro.cli train     [--epochs 20] [--duo] [--out ckpt.npz]
+    python -m repro.cli train     [--epochs 20] [--duo] [--batch-size 4]
+                                  [--out ckpt.npz]
     python -m repro.cli evaluate  --checkpoint ckpt.npz   # held-out metrics
     python -m repro.cli predict   --checkpoint ckpt.npz --design superblue5
     python -m repro.cli info                              # package versions
@@ -22,6 +23,13 @@ import sys
 import numpy as np
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LHNN (DAC 2022) reproduction CLI")
@@ -37,6 +45,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--duo", action="store_true")
     p.add_argument("--gamma", type=float, default=0.7)
+    p.add_argument("--batch-size", type=_positive_int, default=1,
+                   dest="batch_size",
+                   help="designs composed into one block-diagonal "
+                        "supergraph per optimizer step (1 = per-design)")
     p.add_argument("--out", default="artifacts/lhnn.npz")
 
     p = sub.add_parser("evaluate", help="evaluate a checkpoint on the "
@@ -91,13 +103,16 @@ def cmd_train(args) -> int:
     dataset = _load_dataset(channels=channels)
     model = train_lhnn(dataset.train_samples(),
                        TrainConfig(epochs=args.epochs, seed=args.seed,
-                                   gamma=args.gamma, verbose=True),
+                                   gamma=args.gamma,
+                                   batch_size=args.batch_size, verbose=True),
                        LHNNConfig(channels=channels))
-    metrics = evaluate_lhnn(model, dataset.test_samples())
+    metrics = evaluate_lhnn(model, dataset.test_samples(),
+                            batch_size=args.batch_size)
     print(f"held-out F1 {metrics['f1']:.2f} %  ACC {metrics['acc']:.2f} %")
     path = save_checkpoint(model, args.out, metadata={
         "channels": channels, "epochs": args.epochs, "seed": args.seed,
-        "gamma": args.gamma, "f1": metrics["f1"], "acc": metrics["acc"],
+        "gamma": args.gamma, "batch_size": args.batch_size,
+        "f1": metrics["f1"], "acc": metrics["acc"],
     })
     print(f"checkpoint written to {path}")
     return 0

@@ -1,7 +1,7 @@
 """``repro.data`` — dataset views and the balanced 10:5 split selection."""
 
-from .dataset import CongestionDataset, GraphSample
+from .dataset import CongestionDataset, GraphSample, collate_samples
 from .splits import SplitResult, enumerate_splits, select_balanced_split
 
-__all__ = ["CongestionDataset", "GraphSample",
+__all__ = ["CongestionDataset", "GraphSample", "collate_samples",
            "SplitResult", "enumerate_splits", "select_balanced_split"]

@@ -11,6 +11,11 @@ consumes:
 plus channel selection (uni = horizontal only, duo = H and V), the
 balanced 10:5 split of :mod:`repro.data.splits`, and the "zero G-cell
 features" ablation transform of Table 3.
+
+:func:`collate_samples` is the batched-training collate: it composes
+several :class:`GraphSample` views into one sample over the block-diagonal
+supergraph of :func:`repro.graph.batch.batch_graphs`, so a single forward
+pass covers the whole mini-batch.
 """
 
 from __future__ import annotations
@@ -19,10 +24,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..graph.batch import BatchCache, batch_graphs
 from ..graph.lhgraph import LHGraph
 from .splits import SplitResult, select_balanced_split
 
-__all__ = ["CongestionDataset", "GraphSample"]
+__all__ = ["CongestionDataset", "GraphSample", "collate_samples"]
 
 
 def standardize(features: np.ndarray) -> np.ndarray:
@@ -51,6 +57,51 @@ class GraphSample:
     reg_target: np.ndarray
     cls_image: np.ndarray
     reg_image: np.ndarray
+
+
+def _collate(samples: list[GraphSample]) -> GraphSample:
+    """Build the batched GraphSample (see :func:`collate_samples`)."""
+    batched = batch_graphs([s.graph for s in samples])
+    features = np.concatenate([s.features for s in samples], axis=0)
+    net_features = np.concatenate([s.net_features for s in samples], axis=0)
+    cls_target = np.concatenate([s.cls_target for s in samples], axis=0)
+    reg_target = np.concatenate([s.reg_target for s in samples], axis=0)
+    # Flat per-G-cell order is gx * ny + gy; concatenation therefore *is*
+    # the side-by-side-dies layout of the batched graph, and the image
+    # views reshape directly to its (Σ nx_i) × ny grid.
+    nx, ny = batched.nx, batched.ny
+    image = features.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
+    cls_image = cls_target.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
+    reg_image = reg_target.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
+    return GraphSample(
+        name=batched.name, graph=batched,
+        features=features, net_features=net_features, image=image,
+        cls_target=cls_target, reg_target=reg_target,
+        cls_image=cls_image, reg_image=reg_image,
+    )
+
+
+def collate_samples(samples: list[GraphSample],
+                    cache: BatchCache | None = None) -> GraphSample:
+    """Compose several samples into one over their block-diagonal graph.
+
+    Per-design standardised features, net features and labels are stacked
+    in design order — exactly the node order of
+    :func:`repro.graph.batch.batch_graphs` — so the result trains/evaluates
+    with one forward pass; split predictions back per design with
+    :func:`repro.graph.batch.unbatch_values`.  A single sample passes
+    through untouched.  When ``cache`` is given, the collated sample
+    (graph composition *and* concatenated arrays) is memoised on the batch
+    membership, which makes repeated epochs over fixed mini-batches free of
+    re-collation cost.
+    """
+    if not samples:
+        raise ValueError("cannot collate zero samples")
+    if len(samples) == 1:
+        return samples[0]
+    if cache is not None:
+        return cache.get(samples, builder=_collate)
+    return _collate(samples)
 
 
 class CongestionDataset:

@@ -7,23 +7,25 @@ are concatenated, every relation operator becomes a block-diagonal sparse
 matrix, and labels are stacked, so one LHNN forward pass covers several
 designs (fewer, larger sparse matmuls — faster on CPU too).
 
-:func:`unbatch_values` splits per-node results back out per design.
+:func:`unbatch_values` splits per-node results back out per design, for
+both per-G-cell and per-G-net arrays.  :class:`BatchCache` memoises
+compositions by batch membership so repeated epochs over fixed mini-batches
+reuse the block-diagonal CSR matrices instead of rebuilding them every
+optimizer step; the training loop in :mod:`repro.train.trainer` holds one
+cache per run.
 """
 
 from __future__ import annotations
 
-import numpy as np
-import scipy.sparse as sp
+from collections import OrderedDict
+from typing import Callable
 
-from ..nn.sparse import SparseMatrix
+import numpy as np
+
+from ..nn.sparse import block_diag
 from .lhgraph import LHGraph
 
-__all__ = ["batch_graphs", "unbatch_values"]
-
-
-def _block_diag(operators: list[SparseMatrix]) -> SparseMatrix:
-    return SparseMatrix(sp.block_diag([op.mat for op in operators],
-                                      format="csr"))
+__all__ = ["batch_graphs", "unbatch_values", "BatchCache"]
 
 
 def batch_graphs(graphs: list[LHGraph]) -> LHGraph:
@@ -33,7 +35,11 @@ def batch_graphs(graphs: list[LHGraph]) -> LHGraph:
     labels are combined.  Designs are stacked along the x axis (all inputs
     must share ``ny``), so ``map_to_grid`` renders side-by-side dies; use
     :func:`unbatch_values` to split per-node results per design.  Graph
-    metadata records the per-design G-cell/G-net counts.
+    metadata records the per-design G-cell/G-net counts plus each design's
+    own :class:`~repro.features.gnet.GNetData` under ``"gnets"``; the
+    batched graph's ``gnets`` attribute is ``None`` because a single
+    GNetData cannot describe several dies (reading the first design's
+    topology for the whole batch would be silently wrong).
     """
     if not graphs:
         raise ValueError("cannot batch zero graphs")
@@ -56,18 +62,18 @@ def batch_graphs(graphs: list[LHGraph]) -> LHGraph:
     batched = LHGraph(
         name="+".join(g.name for g in graphs),
         nx=sum(g.nx for g in graphs), ny=graphs[0].ny,
-        adjacency=_block_diag([g.adjacency for g in graphs]),
-        incidence=_block_diag([g.incidence for g in graphs]),
-        op_nc_sum=_block_diag([g.op_nc_sum for g in graphs]),
-        op_cn_mean=_block_diag([g.op_cn_mean for g in graphs]),
-        op_nc_mean=_block_diag([g.op_nc_mean for g in graphs]),
-        op_cc_mean=_block_diag([g.op_cc_mean for g in graphs]),
-        op_nc_scaled_sum=_block_diag([
+        adjacency=block_diag([g.adjacency for g in graphs]),
+        incidence=block_diag([g.incidence for g in graphs]),
+        op_nc_sum=block_diag([g.op_nc_sum for g in graphs]),
+        op_cn_mean=block_diag([g.op_cn_mean for g in graphs]),
+        op_nc_mean=block_diag([g.op_nc_mean for g in graphs]),
+        op_cc_mean=block_diag([g.op_cc_mean for g in graphs]),
+        op_nc_scaled_sum=block_diag([
             g.op_nc_scaled_sum if g.op_nc_scaled_sum is not None
             else g.op_nc_sum for g in graphs]),
         vc=np.concatenate([g.vc for g in graphs], axis=0),
         vn=np.concatenate([g.vn for g in graphs], axis=0),
-        gnets=graphs[0].gnets,  # structural only; per-design data in parts
+        gnets=None,  # per-design GNetData lives in metadata["gnets"]
         demand=demand,
         congestion=congestion,
         metadata={
@@ -75,15 +81,78 @@ def batch_graphs(graphs: list[LHGraph]) -> LHGraph:
             "names": [g.name for g in graphs],
             "cell_counts": cell_counts,
             "net_counts": net_counts,
+            "gnets": [g.gnets for g in graphs],
         },
     )
     return batched
 
 
 def unbatch_values(batched: LHGraph, values: np.ndarray) -> list[np.ndarray]:
-    """Split a per-G-cell array of the batched graph back per design."""
+    """Split a per-node array of the batched graph back per design.
+
+    ``values`` may be per-G-cell (first dimension = total G-cell count,
+    split by ``cell_counts``) or per-G-net (first dimension = total G-net
+    count, split by ``net_counts``).  If the two totals coincide, the
+    per-G-cell interpretation wins.  Any other length is an error — before
+    this check, a G-net-sized array was silently mis-split with
+    ``cell_counts``.
+    """
+    values = np.asarray(values)
     if not batched.metadata.get("batched"):
-        return [np.asarray(values)]
-    counts = batched.metadata["cell_counts"]
+        return [values]
+    cell_counts = batched.metadata["cell_counts"]
+    net_counts = batched.metadata["net_counts"]
+    if len(values) == sum(cell_counts):
+        counts = cell_counts
+    elif len(values) == sum(net_counts):
+        counts = net_counts
+    else:
+        raise ValueError(
+            f"cannot unbatch array of length {len(values)}: expected "
+            f"{sum(cell_counts)} (per-G-cell) or {sum(net_counts)} "
+            f"(per-G-net) for batch {batched.name!r}")
     splits = np.cumsum(counts)[:-1]
-    return [np.asarray(part) for part in np.split(np.asarray(values), splits)]
+    return [np.asarray(part) for part in np.split(values, splits)]
+
+
+class BatchCache:
+    """LRU memo for block-diagonal compositions keyed by batch membership.
+
+    Rebuilding the batched CSR operators is the dominant fixed cost of a
+    batched training step; with fixed mini-batch membership (the trainer
+    shuffles batch *order* per epoch, not membership) every epoch after the
+    first hits this cache.  Keys are the ``id()`` tuples of the member
+    objects, so a cache must not outlive the graphs it memoises — hold one
+    per training run.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, members: list, builder: Callable = batch_graphs):
+        """Return ``builder(members)``, memoised on the members' identity."""
+        key = tuple(id(m) for m in members)
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        value = builder(members)
+        self._entries[key] = value
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop all memoised compositions and reset the hit counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -13,8 +13,9 @@ from .layers import (Parameter, Module, Linear, Identity, Activation,
                      Sequential, MLP, ResidualMLP, LayerNorm, Dropout)
 from .conv import (Conv2d, ConvTranspose2d, MaxPool2d, AvgPool2d,
                    BatchNorm2d, UpsampleNearest2d)
-from .sparse import SparseMatrix, spmm, row_normalize, degree_vector
-from .optim import SGD, Adam, clip_grad_norm, StepLR, CosineLR
+from .sparse import (SparseMatrix, spmm, row_normalize, degree_vector,
+                     block_diag)
+from .optim import SGD, Adam, clip_grad_norm, StepLR, CosineLR, two_phase_lr
 from .losses import (MSELoss, BCELoss, GammaWeightedBCE, JointLoss,
                      GANLoss, L1Loss)
 from .serialize import save_checkpoint, load_checkpoint, CheckpointError
@@ -25,8 +26,8 @@ __all__ = [
     "MLP", "ResidualMLP", "LayerNorm", "Dropout",
     "Conv2d", "ConvTranspose2d", "MaxPool2d", "AvgPool2d", "BatchNorm2d",
     "UpsampleNearest2d",
-    "SparseMatrix", "spmm", "row_normalize", "degree_vector",
-    "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineLR",
+    "SparseMatrix", "spmm", "row_normalize", "degree_vector", "block_diag",
+    "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineLR", "two_phase_lr",
     "MSELoss", "BCELoss", "GammaWeightedBCE", "JointLoss", "GANLoss", "L1Loss",
     "save_checkpoint", "load_checkpoint", "CheckpointError",
 ]

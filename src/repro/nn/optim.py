@@ -13,7 +13,8 @@ import numpy as np
 
 from .layers import Parameter
 
-__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineLR"]
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineLR",
+           "two_phase_lr"]
 
 
 class Optimizer:
@@ -121,6 +122,26 @@ class StepLR:
         """Advance one epoch and update the learning rate."""
         self.epoch += 1
         self.optimizer.lr = self.base_lr * (self.gamma ** (self.epoch // self.step_size))
+
+
+def two_phase_lr(optimizer: Optimizer, epochs: int, lr_final: float) -> StepLR:
+    """The paper's two-phase schedule as a :class:`StepLR` instance.
+
+    Training starts at the optimiser's current lr (the paper's 2e-3) for
+    the first ``ceil(epochs / 2)`` epochs and finishes at ``lr_final``
+    (5e-4).  Call ``.step()`` once at the end of each epoch.  Rounding the
+    first phase *up* guarantees even an ``epochs == 1`` run trains at the
+    initial rate rather than spending its only epoch at ``lr_final``.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    if lr_final <= 0:
+        raise ValueError("lr_final must be positive")
+    # epoch // step_size never exceeds 1 for epoch < epochs, so the single
+    # multiplicative step lands exactly on lr_final.
+    step_size = (epochs + 1) // 2
+    return StepLR(optimizer, step_size=step_size,
+                  gamma=lr_final / optimizer.lr)
 
 
 class CosineLR:

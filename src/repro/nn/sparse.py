@@ -15,7 +15,8 @@ import scipy.sparse as sp
 
 from .tensor import Tensor, as_tensor
 
-__all__ = ["SparseMatrix", "spmm", "row_normalize", "degree_vector"]
+__all__ = ["SparseMatrix", "spmm", "row_normalize", "degree_vector",
+           "block_diag"]
 
 
 class SparseMatrix:
@@ -85,6 +86,21 @@ def row_normalize(adj: SparseMatrix) -> SparseMatrix:
     inv = np.where(deg > 0, 1.0 / np.maximum(deg, 1e-12), 0.0)
     d_inv = sp.diags(inv)
     return SparseMatrix((d_inv @ adj.mat).tocsr())
+
+
+def block_diag(operators: list[SparseMatrix]) -> SparseMatrix:
+    """Block-diagonal composition of several operators.
+
+    This is the substrate of graph batching: stacking per-design relation
+    operators on the diagonal turns many small spmm calls into one large
+    one, which amortises per-call overhead on CPU.
+    """
+    if not operators:
+        raise ValueError("cannot compose zero operators")
+    if len(operators) == 1:
+        return operators[0]
+    return SparseMatrix(sp.block_diag([op.mat for op in operators],
+                                      format="csr"))
 
 
 def spmm(a: SparseMatrix, x: Tensor) -> Tensor:

@@ -48,7 +48,13 @@ def legalize(design: Design) -> Design:
 
     Cells are processed left-to-right; each is placed in the row whose
     remaining free cursor position minimises displacement from its global
-    location.  Falls back to the least-bad row when all rows are crowded.
+    location.  When no free segment fits anywhere (genuinely overfull
+    die), the cell is appended at the high-water mark of the
+    least-overflowing row: movable cells then never overlap each other —
+    the invariant label generation relies on — though such spills may sit
+    over fixed blockages or past the die edge, since in that regime no
+    fully legal position exists.  The overflow penalty spreads spills
+    across rows instead of marching one row out.
     """
     xl, yl, xh, yh = design.die
     num_rows = max(1, int(round((yh - yl) / design.row_height)))
@@ -64,6 +70,8 @@ def legalize(design: Design) -> Design:
         gy = design.cell_y[cid]
         best = None  # (cost, row, seg, x)
         for r in range(num_rows):
+            if not segments[r]:
+                continue
             row_y = yl + r * design.row_height
             dy = abs(row_y - gy)
             for s, (s0, s1) in enumerate(segments[r]):
@@ -74,8 +82,19 @@ def legalize(design: Design) -> Design:
                 cost = abs(x - gx) + dy
                 if best is None or cost < best[0]:
                     best = (cost, r, s, x)
+            # Overfill fallback: append at the row's high-water mark (the
+            # last segment's cursor).  A spill placed there can never reach
+            # a seated movable cell, unlike stacking at the die edge, and
+            # the penalty keeps any fitting segment strictly preferred.
+            s_last = len(segments[r]) - 1
+            x = cursors[r][s_last]
+            overflow = max(x + w - segments[r][s_last][1], 0.0)
+            cost = abs(x - gx) + dy + 1e6 * overflow
+            if best is None or cost < best[0]:
+                best = (cost, r, s_last, x)
         if best is None:
-            # Pathological overfill: stack at the die edge of nearest row.
+            # Every row is fully blocked by fixed cells: stack at the die
+            # edge of the nearest row (nothing legal exists).
             r = int(np.clip(round((gy - yl) / design.row_height), 0, num_rows - 1))
             design.cell_y[cid] = yl + r * design.row_height
             design.cell_x[cid] = min(max(gx, xl), xh - w)

@@ -16,9 +16,24 @@ class TrainConfig:
     training.  ``gamma`` is the label-balance factor of Eq. 5, applied to
     every model.  ``fanouts`` are the paper's {6, 3, 2} neighbour-sampling
     fan-outs, active when ``use_sampling`` is on.
+
+    ``batch_size`` designs are composed into one block-diagonal supergraph
+    per optimizer step (DGL-style mini-batching via
+    :func:`repro.graph.batch.batch_graphs`); 1 reproduces the per-design
+    loop.  Batch membership is drawn once per run and kept fixed across
+    epochs (only the visit order is reshuffled), so the trainer's
+    :class:`repro.graph.batch.BatchCache` reuses every composition after
+    the first epoch.  Because a batch of B designs collapses B optimizer
+    steps into one averaged step, ``scale_lr_with_batch`` applies the
+    linear scaling rule — each step runs at the scheduled lr times the
+    number of designs actually in that batch (a ragged last batch scales
+    by its own size, not the configured one) — so batched runs match the
+    per-design trajectory within noise at the same epoch budget.
     """
 
     epochs: int = 20
+    batch_size: int = 1
+    scale_lr_with_batch: bool = True
     lr: float = 2e-3
     lr_final: float = 5e-4
     gamma: float = 0.7

@@ -1,17 +1,30 @@
 """Training and evaluation loops for every model family.
 
 Reproduces the paper's protocol (§5.1–5.2): fixed epoch budget, Adam with
-the 2e-3 → 5e-4 learning-rate pair, γ-weighted BCE on the congestion map
-(all models) plus MSE on the demand map (LHNN's joint supervision),
-evaluation = per-circuit F1/ACC on held-out designs averaged per seed,
-with mean ± std over seeds.
+the 2e-3 → 5e-4 learning-rate pair (routed through the
+:func:`repro.nn.optim.two_phase_lr` schedule), γ-weighted BCE on the
+congestion map (all models) plus MSE on the demand map (LHNN's joint
+supervision), evaluation = per-circuit F1/ACC on held-out designs averaged
+per seed, with mean ± std over seeds.
+
+Graph-based models (LHNN, GridSAGE) and the MLP baseline train in
+DGL-style mini-batches: ``TrainConfig.batch_size`` designs are composed
+into one block-diagonal supergraph per optimizer step
+(:func:`repro.data.dataset.collate_samples`), so each step runs fewer,
+larger sparse matmuls.  Batch membership is fixed per run — the epoch loop
+reshuffles only the visit order — so a per-run
+:class:`repro.graph.batch.BatchCache` reuses every composition after the
+first epoch instead of rebuilding CSR matrices each step.  Predictions are
+split back per design with :func:`repro.graph.batch.unbatch_values` for
+the per-circuit metrics.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..data.dataset import GraphSample
+from ..data.dataset import GraphSample, collate_samples
+from ..graph.batch import BatchCache, unbatch_values
 from ..graph.sampling import sampled_operators
 from ..models.lhnn import LHNN, LHNNConfig
 from ..models.mlp_baseline import MLPBaseline
@@ -19,7 +32,7 @@ from ..models.pix2pix import Pix2Pix
 from ..models.unet import UNet
 from ..nn import no_grad
 from ..nn.losses import GammaWeightedBCE, GANLoss, JointLoss
-from ..nn.optim import Adam, clip_grad_norm
+from ..nn.optim import Adam, clip_grad_norm, two_phase_lr
 from ..nn.tensor import Tensor
 from .config import TrainConfig
 from .metrics import MetricSummary, evaluate_binary, summarize_runs
@@ -33,9 +46,42 @@ __all__ = [
 ]
 
 
-def _epoch_lr(config: TrainConfig, epoch: int) -> float:
-    """Two-phase learning rate: ``lr`` then ``lr_final`` halfway through."""
-    return config.lr if epoch < config.epochs // 2 else config.lr_final
+def _scaled_step(opt, config: TrainConfig, num_members: int) -> None:
+    """One optimizer step at the linear batch-scaled learning rate.
+
+    A step over a B-design batch replaces B per-design steps, so (when
+    ``scale_lr_with_batch``) the scheduled lr is multiplied by the
+    *actual* member count of this batch — a ragged last batch or an
+    oversized ``batch_size`` scales by what the step averages over, not
+    by the configured value.  The scheduled lr is restored afterwards so
+    the epoch-level schedule stays the single source of truth.
+    """
+    if config.scale_lr_with_batch and num_members > 1:
+        scheduled = opt.lr
+        opt.lr = scheduled * num_members
+        try:
+            opt.step()
+        finally:
+            opt.lr = scheduled
+    else:
+        opt.step()
+
+
+def _fixed_batches(num_samples: int, batch_size: int,
+                   rng: np.random.Generator | None = None) -> list[np.ndarray]:
+    """Partition sample indices into fixed-membership mini-batches.
+
+    Membership is one random (or, without ``rng``, sequential) partition
+    drawn once per run; epochs reshuffle only the batch visit order so the
+    block-diagonal compositions stay cacheable.  ``batch_size <= 1``
+    reduces to the per-design loop.
+    """
+    if batch_size <= 1:
+        return [np.array([i]) for i in range(num_samples)]
+    perm = (rng.permutation(num_samples) if rng is not None
+            else np.arange(num_samples))
+    return [perm[i:i + batch_size]
+            for i in range(0, num_samples, batch_size)]
 
 
 def _tiles(height: int, width: int, crop: int | None):
@@ -79,33 +125,43 @@ def _predict_tiled(forward, image: np.ndarray, out_channels: int,
 # ---------------------------------------------------------------------------
 def train_lhnn(train_samples: list[GraphSample], config: TrainConfig,
                model_config: LHNNConfig | None = None) -> LHNN:
-    """Train LHNN on the training designs (full-graph or sampled)."""
+    """Train LHNN on the training designs (full-graph or sampled).
+
+    With ``config.batch_size > 1``, each optimizer step runs one forward /
+    backward pass over the block-diagonal composition of a whole
+    mini-batch; neighbour sampling (when enabled) draws on the batched
+    operators directly.
+    """
     rng = np.random.default_rng(config.seed)
     model_config = model_config or LHNNConfig()
     model = LHNN(model_config, rng)
     opt = Adam(model.parameters(), lr=config.lr)
+    schedule = two_phase_lr(opt, config.epochs, config.lr_final)
     loss_fn = JointLoss(gamma=config.gamma,
                         use_regression=model_config.use_jointing)
-    order = np.arange(len(train_samples))
+    groups = _fixed_batches(len(train_samples), config.batch_size, rng)
+    cache = BatchCache(max_entries=max(len(groups), 1))
+    order = np.arange(len(groups))
     for epoch in range(config.epochs):
-        opt.lr = _epoch_lr(config, epoch)
         rng.shuffle(order)
         total = 0.0
-        for idx in order:
-            sample = train_samples[idx]
+        for b in order:
+            members = [train_samples[i] for i in groups[b]]
+            batch = collate_samples(members, cache)
             operators = None
             if config.use_sampling:
-                operators = sampled_operators(sample.graph, config.fanouts, rng)
+                operators = sampled_operators(batch.graph, config.fanouts, rng)
             opt.zero_grad()
-            out = model(sample.graph, operators=operators,
-                        vc=Tensor(sample.features),
-                        vn=Tensor(sample.net_features))
+            out = model(batch.graph, operators=operators,
+                        vc=Tensor(batch.features),
+                        vn=Tensor(batch.net_features))
             loss = loss_fn(out.cls_prob, out.reg_pred,
-                           sample.cls_target, sample.reg_target)
+                           batch.cls_target, batch.reg_target)
             loss.backward()
             clip_grad_norm(model.parameters(), config.grad_clip)
-            opt.step()
+            _scaled_step(opt, config, len(members))
             total += loss.item()
+        schedule.step()
         if config.verbose:
             print(f"[lhnn] epoch {epoch + 1}/{config.epochs} "
                   f"loss {total / len(order):.4f}")
@@ -113,17 +169,28 @@ def train_lhnn(train_samples: list[GraphSample], config: TrainConfig,
 
 
 def evaluate_lhnn(model: LHNN, samples: list[GraphSample],
-                  threshold: float = 0.5) -> dict[str, float]:
-    """Per-circuit F1/ACC averaged over ``samples`` (values in %)."""
+                  threshold: float = 0.5,
+                  batch_size: int = 1,
+                  cache: BatchCache | None = None) -> dict[str, float]:
+    """Per-circuit F1/ACC averaged over ``samples`` (values in %).
+
+    ``batch_size`` designs share one batched forward pass; predictions are
+    split back per design, so the metrics are identical to the per-design
+    loop (block-diagonal operators keep designs independent).
+    """
     model.eval()
     f1s, accs = [], []
     with no_grad():
-        for sample in samples:
-            out = model(sample.graph, vc=Tensor(sample.features),
-                        vn=Tensor(sample.net_features))
-            m = evaluate_binary(out.cls_prob.data, sample.cls_target, threshold)
-            f1s.append(m["f1"])
-            accs.append(m["acc"])
+        for group in _fixed_batches(len(samples), batch_size):
+            members = [samples[i] for i in group]
+            batch = collate_samples(members, cache)
+            out = model(batch.graph, vc=Tensor(batch.features),
+                        vn=Tensor(batch.net_features))
+            parts = unbatch_values(batch.graph, out.cls_prob.data)
+            for sample, prob in zip(members, parts):
+                m = evaluate_binary(prob, sample.cls_target, threshold)
+                f1s.append(m["f1"])
+                accs.append(m["acc"])
     model.train()
     return {"f1": float(np.mean(f1s)), "acc": float(np.mean(accs))}
 
@@ -133,38 +200,56 @@ def evaluate_lhnn(model: LHNN, samples: list[GraphSample],
 # ---------------------------------------------------------------------------
 def train_mlp(train_samples: list[GraphSample], config: TrainConfig,
               channels: int = 1, hidden: int = 32) -> MLPBaseline:
-    """Train the 4-layer residual MLP on per-G-cell features."""
+    """Train the 4-layer residual MLP on per-G-cell features.
+
+    Mini-batches stack the feature rows of ``config.batch_size`` designs
+    into one matrix per optimizer step (the MLP needs no graph, so the
+    collate is a plain concatenation, pre-computed once per run).
+    """
     rng = np.random.default_rng(config.seed)
     model = MLPBaseline(in_features=train_samples[0].features.shape[1],
                         hidden=hidden, channels=channels, rng=rng)
     opt = Adam(model.parameters(), lr=config.lr)
+    schedule = two_phase_lr(opt, config.epochs, config.lr_final)
     loss_fn = GammaWeightedBCE(gamma=config.gamma)
-    order = np.arange(len(train_samples))
+    groups = _fixed_batches(len(train_samples), config.batch_size, rng)
+    stacks = [
+        (train_samples[g[0]].features, train_samples[g[0]].cls_target)
+        if len(g) == 1 else
+        (np.concatenate([train_samples[i].features for i in g], axis=0),
+         np.concatenate([train_samples[i].cls_target for i in g], axis=0))
+        for g in groups]
+    order = np.arange(len(groups))
     for epoch in range(config.epochs):
-        opt.lr = _epoch_lr(config, epoch)
         rng.shuffle(order)
-        for idx in order:
-            sample = train_samples[idx]
+        for b in order:
+            features, cls_target = stacks[b]
             opt.zero_grad()
-            prob = model(Tensor(sample.features))
-            loss = loss_fn(prob, sample.cls_target)
+            prob = model(Tensor(features))
+            loss = loss_fn(prob, cls_target)
             loss.backward()
             clip_grad_norm(model.parameters(), config.grad_clip)
-            opt.step()
+            _scaled_step(opt, config, len(groups[b]))
+        schedule.step()
     return model
 
 
 def evaluate_mlp(model: MLPBaseline, samples: list[GraphSample],
-                 threshold: float = 0.5) -> dict[str, float]:
+                 threshold: float = 0.5,
+                 batch_size: int = 1) -> dict[str, float]:
     """Per-circuit F1/ACC averaged over ``samples`` (values in %)."""
     model.eval()
     f1s, accs = [], []
     with no_grad():
-        for sample in samples:
-            prob = model(Tensor(sample.features))
-            m = evaluate_binary(prob.data, sample.cls_target, threshold)
-            f1s.append(m["f1"])
-            accs.append(m["acc"])
+        for group in _fixed_batches(len(samples), batch_size):
+            members = [samples[i] for i in group]
+            features = np.concatenate([s.features for s in members], axis=0)
+            prob = model(Tensor(features)).data
+            counts = np.cumsum([len(s.features) for s in members])[:-1]
+            for sample, part in zip(members, np.split(prob, counts)):
+                m = evaluate_binary(part, sample.cls_target, threshold)
+                f1s.append(m["f1"])
+                accs.append(m["acc"])
     model.train()
     return {"f1": float(np.mean(f1s)), "acc": float(np.mean(accs))}
 
@@ -179,13 +264,13 @@ def train_unet(train_samples: list[GraphSample], config: TrainConfig,
     model = UNet(in_channels=train_samples[0].image.shape[1],
                  out_channels=channels, base_width=base_width, rng=rng)
     opt = Adam(model.parameters(), lr=config.lr)
+    schedule = two_phase_lr(opt, config.epochs, config.lr_final)
     loss_fn = GammaWeightedBCE(gamma=config.gamma)
     crops = []
     for sample in train_samples:
         crops.extend(_crop_pairs(sample.image, sample.cls_image, config.crop))
     order = np.arange(len(crops))
     for epoch in range(config.epochs):
-        opt.lr = _epoch_lr(config, epoch)
         rng.shuffle(order)
         for idx in order:
             image, label = crops[idx]
@@ -195,6 +280,7 @@ def train_unet(train_samples: list[GraphSample], config: TrainConfig,
             loss.backward()
             clip_grad_norm(model.parameters(), config.grad_clip)
             opt.step()
+        schedule.step()
     return model
 
 
@@ -232,6 +318,8 @@ def train_pix2pix(train_samples: list[GraphSample], config: TrainConfig,
                  betas=(0.5, 0.999))
     opt_d = Adam(model.discriminator.parameters(), lr=config.lr,
                  betas=(0.5, 0.999))
+    schedule_g = two_phase_lr(opt_g, config.epochs, config.lr_final)
+    schedule_d = two_phase_lr(opt_d, config.epochs, config.lr_final)
     gan_loss = GANLoss()
     rec_loss = GammaWeightedBCE(gamma=config.gamma)
     crops = []
@@ -239,9 +327,6 @@ def train_pix2pix(train_samples: list[GraphSample], config: TrainConfig,
         crops.extend(_crop_pairs(sample.image, sample.cls_image, config.crop))
     order = np.arange(len(crops))
     for epoch in range(config.epochs):
-        lr = _epoch_lr(config, epoch)
-        opt_g.lr = lr
-        opt_d.lr = lr
         rng.shuffle(order)
         for idx in order:
             image, label = crops[idx]
@@ -267,6 +352,8 @@ def train_pix2pix(train_samples: list[GraphSample], config: TrainConfig,
             loss_g.backward()
             clip_grad_norm(model.generator.parameters(), config.grad_clip)
             opt_g.step()
+        schedule_g.step()
+        schedule_d.step()
     return model
 
 
@@ -292,39 +379,52 @@ def evaluate_pix2pix(model: Pix2Pix, samples: list[GraphSample],
 # ---------------------------------------------------------------------------
 def train_gridsage(train_samples: list[GraphSample], config: TrainConfig,
                    channels: int = 1, hidden: int = 32):
-    """Train GraphSAGE over the G-cell lattice (geometric-only GNN)."""
+    """Train GraphSAGE over the G-cell lattice (geometric-only GNN).
+
+    Shares the block-diagonal mini-batch substrate with LHNN: the lattice
+    adjacency of a batch is the block-diagonal of the per-design lattices.
+    """
     from ..models.related import GridSAGE
     rng = np.random.default_rng(config.seed)
     model = GridSAGE(in_features=train_samples[0].features.shape[1],
                      hidden=hidden, channels=channels, rng=rng)
     opt = Adam(model.parameters(), lr=config.lr)
+    schedule = two_phase_lr(opt, config.epochs, config.lr_final)
     loss_fn = GammaWeightedBCE(gamma=config.gamma)
-    order = np.arange(len(train_samples))
+    groups = _fixed_batches(len(train_samples), config.batch_size, rng)
+    cache = BatchCache(max_entries=max(len(groups), 1))
+    order = np.arange(len(groups))
     for epoch in range(config.epochs):
-        opt.lr = _epoch_lr(config, epoch)
         rng.shuffle(order)
-        for idx in order:
-            sample = train_samples[idx]
+        for b in order:
+            members = [train_samples[i] for i in groups[b]]
+            batch = collate_samples(members, cache)
             opt.zero_grad()
-            prob = model(sample.graph, vc=Tensor(sample.features))
-            loss = loss_fn(prob, sample.cls_target)
+            prob = model(batch.graph, vc=Tensor(batch.features))
+            loss = loss_fn(prob, batch.cls_target)
             loss.backward()
             clip_grad_norm(model.parameters(), config.grad_clip)
-            opt.step()
+            _scaled_step(opt, config, len(members))
+        schedule.step()
     return model
 
 
 def evaluate_gridsage(model, samples: list[GraphSample],
-                      threshold: float = 0.5) -> dict[str, float]:
+                      threshold: float = 0.5,
+                      batch_size: int = 1) -> dict[str, float]:
     """Per-circuit F1/ACC of the GridSAGE baseline (values in %)."""
     model.eval()
     f1s, accs = [], []
     with no_grad():
-        for sample in samples:
-            prob = model(sample.graph, vc=Tensor(sample.features))
-            m = evaluate_binary(prob.data, sample.cls_target, threshold)
-            f1s.append(m["f1"])
-            accs.append(m["acc"])
+        for group in _fixed_batches(len(samples), batch_size):
+            members = [samples[i] for i in group]
+            batch = collate_samples(members)
+            prob = model(batch.graph, vc=Tensor(batch.features))
+            parts = unbatch_values(batch.graph, prob.data)
+            for sample, part in zip(members, parts):
+                m = evaluate_binary(part, sample.cls_target, threshold)
+                f1s.append(m["f1"])
+                accs.append(m["acc"])
     model.train()
     return {"f1": float(np.mean(f1s)), "acc": float(np.mean(accs))}
 

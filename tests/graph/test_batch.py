@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import batch_graphs, unbatch_values
+from repro.graph import BatchCache, batch_graphs, unbatch_values
 from repro.models.lhnn import LHNN, LHNNConfig
 from repro.nn import Tensor
 
@@ -51,6 +51,13 @@ class TestBatchGraphs:
         assert batched.metadata["cell_counts"] == [a.num_gcells, b.num_gcells]
         assert batched.metadata["names"] == [a.name, b.name]
 
+    def test_per_design_gnets_in_metadata(self, pair, batched):
+        """No design's G-net data may be silently dropped or misattributed."""
+        a, b = pair
+        assert batched.gnets is None
+        assert batched.metadata["gnets"] == [a.gnets, b.gnets]
+        assert batched.metadata["net_counts"] == [a.num_gnets, b.num_gnets]
+
 
 class TestBatchedForward:
     def test_lhnn_forward_matches_per_design(self, pair, batched):
@@ -63,6 +70,23 @@ class TestBatchedForward:
             single = model(graph).cls_prob.data
             assert np.allclose(part, single, atol=1e-10)
 
+    def test_collated_forward_matches_concat(self, tiny_graph_suite):
+        """Batched training view == per-design forward passes, concatenated."""
+        from repro.data import CongestionDataset, collate_samples
+        ds = CongestionDataset(tiny_graph_suite, channels=1)
+        samples = [ds.sample(i) for i in range(3)]
+        model = LHNN(LHNNConfig(hidden=8), np.random.default_rng(1))
+        model.eval()
+        batch = collate_samples(samples)
+        out = model(batch.graph, vc=Tensor(batch.features),
+                    vn=Tensor(batch.net_features)).cls_prob.data
+        singles = [model(s.graph, vc=Tensor(s.features),
+                         vn=Tensor(s.net_features)).cls_prob.data
+                   for s in samples]
+        assert np.allclose(out, np.concatenate(singles), atol=1e-9)
+        assert np.allclose(batch.cls_target,
+                           np.concatenate([s.cls_target for s in samples]))
+
     def test_unbatch_roundtrip(self, pair, batched):
         values = np.arange(batched.num_gcells, dtype=float)
         parts = unbatch_values(batched, values)
@@ -72,3 +96,47 @@ class TestBatchedForward:
     def test_unbatch_on_plain_graph(self, pair):
         out = unbatch_values(pair[0], np.zeros(pair[0].num_gcells))
         assert len(out) == 1
+
+    def test_unbatch_per_gnet_array(self, pair, batched):
+        """G-net-sized arrays split by net_counts, not cell_counts."""
+        a, b = pair
+        values = np.arange(batched.num_gnets, dtype=float)
+        parts = unbatch_values(batched, values)
+        assert [len(p) for p in parts] == [a.num_gnets, b.num_gnets]
+        assert np.allclose(np.concatenate(parts), values)
+
+    def test_unbatch_rejects_wrong_length(self, batched):
+        with pytest.raises(ValueError):
+            unbatch_values(batched, np.zeros(batched.num_gcells + 1))
+
+    def test_unbatch_2d_values(self, pair, batched):
+        values = np.zeros((batched.num_gcells, 2))
+        parts = unbatch_values(batched, values)
+        assert [p.shape for p in parts] == [(g.num_gcells, 2) for g in pair]
+
+
+class TestBatchCache:
+    def test_hit_on_same_membership(self, pair):
+        cache = BatchCache()
+        first = cache.get(list(pair))
+        second = cache.get(list(pair))
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_miss_on_different_membership(self, pair):
+        cache = BatchCache()
+        cache.get(list(pair))
+        cache.get([pair[0]])
+        assert cache.misses == 2
+
+    def test_eviction_bound(self, tiny_graph_suite):
+        cache = BatchCache(max_entries=2)
+        for g in tiny_graph_suite[:4]:
+            cache.get([g])
+        assert len(cache) == 2
+
+    def test_clear(self, pair):
+        cache = BatchCache()
+        cache.get(list(pair))
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0

@@ -45,6 +45,26 @@ class TestSampleNeighbors:
                                    normalize="sum")
         assert np.allclose(sampled.toarray(), mat.toarray())
 
+    def test_unbiased_rescales_by_degree_over_kept(self, rng):
+        """Each kept edge is scaled by degree/kept, so row sums of a
+        row-constant operator are preserved exactly."""
+        mat = sp.csr_matrix(np.full((3, 8), 0.5))
+        sampled = sample_neighbors(SparseMatrix(mat), fanout=2, rng=rng,
+                                   normalize="unbiased")
+        dense = sampled.toarray()
+        assert np.allclose(dense[dense > 0], 0.5 * 8 / 2)
+        assert np.allclose(sampled.row_sums(), 4.0)
+
+    def test_unbiased_estimates_full_row_sum(self):
+        """E[sampled row sum] == full row sum for non-constant values."""
+        vals = np.arange(1.0, 7.0)[None, :]
+        operator = SparseMatrix(sp.csr_matrix(vals))
+        trials = 4000
+        total = sum(sample_neighbors(operator, 3, np.random.default_rng(t),
+                                     normalize="unbiased").row_sums()[0]
+                    for t in range(trials))
+        assert total / trials == pytest.approx(vals.sum(), rel=0.05)
+
     def test_sampled_edges_are_subset(self, operator, rng):
         sampled = sample_neighbors(operator, fanout=2, rng=rng)
         full = operator.toarray() > 0
@@ -63,6 +83,39 @@ class TestSampleNeighbors:
         mat = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
         sampled = sample_neighbors(SparseMatrix(mat), fanout=1, rng=rng)
         assert sampled.row_sums()[0] == 0.0
+
+    def test_empty_operator(self, rng):
+        sampled = sample_neighbors(SparseMatrix(sp.csr_matrix((3, 5))),
+                                   fanout=2, rng=rng)
+        assert sampled.shape == (3, 5) and sampled.nnz == 0
+
+    def test_kept_counts_equal_min_degree_fanout(self, operator, rng):
+        sampled = sample_neighbors(operator, fanout=3, rng=rng)
+        degrees = np.diff(operator.mat.indptr)
+        assert np.array_equal(np.diff(sampled.mat.indptr),
+                              np.minimum(degrees, 3))
+
+    def test_marginal_keep_probabilities(self):
+        """The vectorised draw must keep each edge with prob fanout/degree,
+        matching the per-row rng.choice loop it replaced."""
+        mat = sp.csr_matrix(np.array([
+            [1.0, 1.0, 1.0, 1.0, 1.0, 1.0],   # degree 6
+            [1.0, 1.0, 1.0, 0.0, 0.0, 0.0],   # degree 3
+            [0.0, 0.0, 0.0, 0.0, 1.0, 1.0],   # degree 2 (< fanout: keep all)
+        ]))
+        operator = SparseMatrix(mat)
+        fanout, trials = 3, 3000
+        counts = np.zeros(mat.shape)
+        for trial in range(trials):
+            s = sample_neighbors(operator, fanout,
+                                 np.random.default_rng(trial),
+                                 normalize="sum")
+            counts += s.toarray() > 0
+        empirical = counts / trials
+        degrees = np.diff(mat.indptr)
+        expected = mat.toarray() * np.minimum(
+            fanout / np.maximum(degrees, 1), 1.0)[:, None]
+        assert np.abs(empirical - expected).max() < 0.05
 
 
 class TestSampledOperators:
@@ -84,3 +137,19 @@ class TestSampledOperators:
         b = sampled_operators(small_graph, {}, np.random.default_rng(1))
         assert not np.allclose(a["op_cc_mean"].toarray(),
                                b["op_cc_mean"].toarray())
+
+    def test_featuregen_sampled_sums_match_full_graph(self, small_graph, rng):
+        """Sampled FeatureGen aggregation must reproduce the full-graph
+        scaled-sum magnitudes: the scaled-sum operator's values are
+        row-constant, so the unbiased reweighting (degree/kept per edge)
+        makes every sampled row sum *exactly* the full row sum."""
+        ops = sampled_operators(small_graph, {"featuregen": 4}, rng)
+        assert np.allclose(ops["op_nc_sum"].row_sums(),
+                           small_graph.op_nc_scaled_sum.row_sums())
+
+    def test_on_batched_graph(self, tiny_graph_suite, rng):
+        from repro.graph import batch_graphs
+        batched = batch_graphs(tiny_graph_suite[:2])
+        ops = sampled_operators(batched, {"latticemp": 2}, rng)
+        assert ops["op_cc_mean"].shape == batched.op_cc_mean.shape
+        assert np.diff(ops["op_cc_mean"].mat.indptr).max() <= 2

@@ -5,7 +5,7 @@ import pytest
 
 from repro.nn import (Adam, BCELoss, CosineLR, GammaWeightedBCE, GANLoss,
                       JointLoss, L1Loss, Linear, MLP, MSELoss, Parameter,
-                      SGD, StepLR, Tensor, clip_grad_norm)
+                      SGD, StepLR, Tensor, clip_grad_norm, two_phase_lr)
 from repro.nn import functional as F
 
 
@@ -86,6 +86,35 @@ class TestSchedules:
         for _ in range(10):
             sched.step()
         assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def _two_phase_trace(self, epochs):
+        """Per-epoch lr values as the trainer sees them (step at epoch end)."""
+        opt = Adam([Parameter(np.zeros(1))], lr=2e-3)
+        sched = two_phase_lr(opt, epochs=epochs, lr_final=5e-4)
+        trace = []
+        for _ in range(epochs):
+            trace.append(opt.lr)
+            sched.step()
+        return trace
+
+    def test_two_phase_pair_at_twenty_epochs(self):
+        trace = self._two_phase_trace(20)
+        assert trace[:10] == pytest.approx([2e-3] * 10)
+        assert trace[10:] == pytest.approx([5e-4] * 10)
+
+    def test_two_phase_single_epoch_trains_at_initial_lr(self):
+        """Regression: epochs == 1 used to spend its only epoch at lr_final."""
+        assert self._two_phase_trace(1) == pytest.approx([2e-3])
+
+    def test_two_phase_odd_epochs_round_first_phase_up(self):
+        assert self._two_phase_trace(3) == pytest.approx([2e-3, 2e-3, 5e-4])
+
+    def test_two_phase_rejects_bad_args(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=2e-3)
+        with pytest.raises(ValueError):
+            two_phase_lr(opt, epochs=0, lr_final=5e-4)
+        with pytest.raises(ValueError):
+            two_phase_lr(opt, epochs=4, lr_final=0.0)
 
 
 class TestLosses:

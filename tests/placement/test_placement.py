@@ -124,6 +124,23 @@ class TestLegalize:
         full = len(segments) * (xh - xl)
         assert total_free < full  # macros removed some span
 
+    def test_no_overlaps_when_rows_overfill(self):
+        """Regression (hypothesis seed 122): the old overfill fallback
+        blind-stacked cells at the die edge, overlapping seated cells."""
+        spec = DesignSpec(seed=122, num_movable=60, num_terminals=6,
+                          num_macros=1, die_size=24.0, utilization=0.3)
+        d = generate_design(spec)
+        legalize(d)
+        assert overlap_count(d) == 0
+
+    def test_no_overlaps_under_extreme_overfill(self):
+        for seed in (4, 10, 14):  # previously-failing dense configs
+            spec = DesignSpec(seed=seed, num_movable=120, num_terminals=8,
+                              num_macros=2, die_size=16.0, utilization=0.6)
+            d = generate_design(spec)
+            legalize(d)
+            assert overlap_count(d) == 0
+
 
 class TestDriver:
     def test_place_end_to_end(self, design):
