@@ -180,3 +180,65 @@ def test_bench_neighbor_sampling(bench_graph, benchmark):
     ops = benchmark(sampled_operators, bench_graph,
                     {"featuregen": 6, "hypermp": 3, "latticemp": 2}, rng)
     assert np.diff(ops["op_cc_mean"].mat.indptr).max() <= 2
+
+
+# ---------------------------------------------------------------------------
+# Staged preparation throughput (workers × cache temperature)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def prepare_bench_setup():
+    """Config + designs for the prepare-throughput benches (tiny suite)."""
+    from repro.circuit import superblue_suite
+    from repro.pipeline import PipelineConfig
+    config = PipelineConfig(scale=0.25, grid_nx=16, grid_ny=16,
+                            placement=PlacementConfig(outer_iterations=2),
+                            router=RouterConfig(nx=16, ny=16,
+                                                rrr_iterations=2))
+    return config, superblue_suite(scale=0.25)[:6]
+
+
+def _prepare_all(designs, config, cache_root, workers):
+    from repro.pipeline import StageCache, prepare_designs
+    graphs, _ = prepare_designs(designs, config, workers=workers,
+                                cache=StageCache(cache_root))
+    return graphs
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_prepare_cold(prepare_bench_setup, benchmark, tmp_path,
+                            workers):
+    """Cold-cache suite preparation: full place-and-route per design.
+
+    ``workers=1`` is the sequential in-process path; higher counts fan
+    designs out over a ``ProcessPoolExecutor`` (wins scale with physical
+    cores — on a single-core runner the pool only adds fork overhead).
+    """
+    import shutil
+    config, designs = prepare_bench_setup
+    root = str(tmp_path / f"cold{workers}")
+
+    def clear():
+        shutil.rmtree(root, ignore_errors=True)
+        return (), {}
+
+    graphs = benchmark.pedantic(
+        lambda: _prepare_all(designs, config, root, workers),
+        setup=clear, rounds=2, iterations=1)
+    assert len(graphs) == len(designs)
+
+
+@pytest.mark.slow
+def test_bench_prepare_warm(prepare_bench_setup, benchmark, tmp_path):
+    """Warm-cache suite preparation: pure manifest + blob loads, no
+    placement or routing work (the steady state of every data-touching
+    CLI command after the first)."""
+    config, designs = prepare_bench_setup
+    root = str(tmp_path / "warm")
+    _prepare_all(designs, config, root, workers=1)
+
+    from repro.pipeline import reset_stage_calls, STAGE_CALLS
+    reset_stage_calls()
+    graphs = benchmark(lambda: _prepare_all(designs, config, root, 1))
+    assert len(graphs) == len(designs)
+    assert STAGE_CALLS["place"] == 0 and STAGE_CALLS["route"] == 0

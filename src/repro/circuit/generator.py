@@ -29,7 +29,8 @@ import numpy as np
 
 from .design import Design
 
-__all__ = ["DesignSpec", "generate_design", "superblue_suite", "SUPERBLUE_IDS"]
+__all__ = ["DesignSpec", "generate_design", "superblue_suite",
+           "macro_heavy_suite", "hotspot_suite", "SUPERBLUE_IDS"]
 
 # The 15 design ids used in the paper (Table 1): 10 train + 5 test.
 SUPERBLUE_IDS = (1, 2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 14, 16, 18, 19)
@@ -260,6 +261,69 @@ def superblue_suite(scale: float = 1.0, base_seed: int = 2022) -> list[Design]:
             p_local=p_local,
             utilization=utilization,
             capacity_factor=capacity,
+        )
+        designs.append(generate_design(spec))
+    return designs
+
+
+def macro_heavy_suite(scale: float = 1.0, base_seed: int = 2022,
+                      count: int = 8) -> list[Design]:
+    """Macro-dominated scenario family (``--suite macro-heavy``).
+
+    Each design carries 2–4× the macro count of the superblue-like suite
+    at elevated utilisation, so large fixed blockages — not wirelength —
+    drive congestion.  This stresses the blockage-derating path of the
+    routing grid and the terminal-mask feature channel, the regime where
+    CNN baselines historically over-predict around macro edges.
+    """
+    designs = []
+    rng = np.random.default_rng(base_seed + 7_001)
+    for i in range(count):
+        spec = DesignSpec(
+            name=f"macroheavy{i}",
+            seed=base_seed * 1000 + 500 + i,
+            num_movable=int(900 * scale * rng.uniform(0.8, 1.2)),
+            num_terminals=int(64 * max(1.0, scale ** 0.5)),
+            num_macros=int(rng.integers(10, 17)),
+            nets_per_cell=float(rng.uniform(0.9, 1.1)),
+            die_size=64.0 * scale ** 0.5,
+            num_clusters=int(rng.integers(6, 11)),
+            p_local=float(rng.uniform(0.7, 0.82)),
+            utilization=float(rng.uniform(0.5, 0.65)),
+            capacity_factor=float(rng.uniform(0.7, 1.1)),
+        )
+        designs.append(generate_design(spec))
+    return designs
+
+
+def hotspot_suite(scale: float = 1.0, base_seed: int = 2022,
+                  count: int = 8) -> list[Design]:
+    """Clustered congestion-hotspot scenario family (``--suite hotspot``).
+
+    Very few, very tight logic clusters with mostly-local connectivity
+    concentrate pin and routing demand into a handful of G-cell
+    neighbourhoods; reduced track capacity turns those neighbourhoods
+    into pronounced hotspots while the rest of the die stays nearly
+    empty.  The congestion-rate distribution is therefore strongly
+    bimodal per G-cell — the hard case for threshold-calibrated
+    predictors trained on the smoother superblue-like suite.
+    """
+    designs = []
+    rng = np.random.default_rng(base_seed + 9_001)
+    for i in range(count):
+        spec = DesignSpec(
+            name=f"hotspot{i}",
+            seed=base_seed * 1000 + 700 + i,
+            num_movable=int(900 * scale * rng.uniform(0.8, 1.2)),
+            num_terminals=int(48 * max(1.0, scale ** 0.5)),
+            num_macros=int(rng.integers(1, 4)),
+            nets_per_cell=float(rng.uniform(1.0, 1.2)),
+            die_size=64.0 * scale ** 0.5,
+            num_clusters=int(rng.integers(2, 5)),
+            cluster_spread=float(rng.uniform(0.03, 0.05)),
+            p_local=float(rng.uniform(0.85, 0.93)),
+            utilization=float(rng.uniform(0.4, 0.55)),
+            capacity_factor=float(rng.uniform(0.55, 0.85)),
         )
         designs.append(generate_design(spec))
     return designs

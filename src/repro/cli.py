@@ -2,7 +2,8 @@
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro.cli prepare   [--scale 1.0]          # build & cache suite
+    python -m repro.cli prepare   [--scale 1.0] [--suite NAME] [--workers N]
+                                  [--bookshelf-dir DIR] [--list-suites]
     python -m repro.cli stats                             # Table-1 style stats
     python -m repro.cli train     [--epochs 20] [--duo] [--batch-size 4]
                                   [--out ckpt.npz]
@@ -35,8 +36,24 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro", description="LHNN (DAC 2022) reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("prepare", help="generate, place and route the suite")
+    p = sub.add_parser("prepare", help="generate, place and route a workload "
+                       "through the staged (place/route/graph) pipeline")
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--suite", default="superblue",
+                   help="registered workload to prepare (see --list-suites); "
+                        "e.g. superblue, macro-heavy, hotspot, bookshelf")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="parallel preparation processes; per-design seeds "
+                        "are deterministic, so any N is bit-identical to 1")
+    p.add_argument("--bookshelf-dir", default=None, dest="bookshelf_dir",
+                   help="directory scanned for .aux bundles "
+                        "(bookshelf suite only)")
+    p.add_argument("--count", type=_positive_int, default=None,
+                   help="number of designs for the scenario families")
+    p.add_argument("--no-cache", action="store_true", dest="no_cache",
+                   help="recompute everything, bypassing the stage cache")
+    p.add_argument("--list-suites", action="store_true", dest="list_suites",
+                   help="print the registered workloads and exit")
 
     sub.add_parser("stats", help="print dataset statistics and the split")
 
@@ -67,15 +84,53 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _load_dataset(channels: int = 1, scale: float = 1.0):
     from repro.data import CongestionDataset
-    from repro.pipeline import PipelineConfig, prepare_suite
-    graphs = prepare_suite(PipelineConfig(scale=scale), verbose=True)
+    from repro.pipeline import PipelineConfig, prepare_workload
+    # Lazy manifest view: graphs deserialise per design on first access.
+    graphs = prepare_workload("superblue", PipelineConfig(scale=scale),
+                              lazy=True, verbose=True)
     return CongestionDataset(graphs, channels=channels)
 
 
 def cmd_prepare(args) -> int:
-    dataset = _load_dataset(scale=args.scale)
-    print(f"prepared {len(dataset)} designs "
-          f"({dataset.graphs[0].nx}x{dataset.graphs[0].ny} G-cells each)")
+    from repro.pipeline import (PipelineConfig, list_workloads,
+                                load_workload, prepare_workload)
+    if args.list_suites:
+        for w in list_workloads():
+            print(f"{w.name:<12} {w.description}")
+        return 0
+    config = PipelineConfig(scale=args.scale, use_cache=not args.no_cache)
+    params = {}
+    if args.bookshelf_dir:
+        params["root"] = args.bookshelf_dir
+    if args.count is not None:
+        params["count"] = args.count
+    # Validate suite name and flags first so user errors fail fast with a
+    # clean message, while real pipeline bugs during the (long)
+    # preparation still traceback.
+    import inspect
+
+    from repro.pipeline import get_workload
+    try:
+        workload = get_workload(args.suite)
+    except KeyError as exc:
+        print(f"prepare failed: {exc}", file=sys.stderr)
+        return 2
+    try:
+        inspect.signature(workload.factory).bind(config, **params)
+    except TypeError:
+        print(f"prepare failed: suite {args.suite!r} does not accept "
+              f"parameters {sorted(params)}", file=sys.stderr)
+        return 2
+    try:
+        designs = load_workload(args.suite, config, **params)
+    except ValueError as exc:
+        print(f"prepare failed: {exc}", file=sys.stderr)
+        return 2
+    graphs = prepare_workload(args.suite, config, workers=args.workers,
+                              verbose=True, lazy=True, designs=designs)
+    print(f"prepared {len(graphs)} designs of suite {args.suite!r} "
+          f"({graphs[0].nx}x{graphs[0].ny} G-cells each) "
+          f"with {args.workers} worker(s)")
     return 0
 
 

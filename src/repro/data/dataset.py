@@ -110,7 +110,12 @@ class CongestionDataset:
     Parameters
     ----------
     graphs:
-        Labelled LH-graphs from :func:`repro.pipeline.prepare_suite`.
+        Labelled LH-graphs from :func:`repro.pipeline.prepare_suite`, or
+        any lazy sequence of them — e.g. the
+        :class:`~repro.pipeline.cache.ManifestGraphs` view returned by
+        ``prepare_workload(..., lazy=True)``.  Lists are validated
+        eagerly; lazy sequences are validated per graph on first access,
+        so constructing the dataset deserialises nothing.
     channels:
         1 → uni-channel task (horizontal congestion only);
         2 → duo-channel (horizontal and vertical).
@@ -119,24 +124,42 @@ class CongestionDataset:
         keeping only the terminal mask.
     """
 
-    def __init__(self, graphs: list[LHGraph], channels: int = 1,
+    def __init__(self, graphs, channels: int = 1,
                  zero_gcell_features: bool = False):
         if channels not in (1, 2):
             raise ValueError("channels must be 1 (uni) or 2 (duo)")
-        for g in graphs:
-            if g.congestion is None or g.demand is None:
-                raise ValueError(f"graph {g.name} is unlabelled")
-        self.graphs = list(graphs)
+        if isinstance(graphs, (list, tuple)):
+            graphs = list(graphs)
+            for g in graphs:
+                self._check_labelled(g)
+        self.graphs = graphs
         self.channels = channels
         self.zero_gcell_features = zero_gcell_features
         self._split: SplitResult | None = None
+
+    @staticmethod
+    def _check_labelled(g: LHGraph) -> LHGraph:
+        if g.congestion is None or g.demand is None:
+            raise ValueError(f"graph {g.name} is unlabelled")
+        return g
+
+    def graph(self, index: int) -> LHGraph:
+        """Graph ``index``, materialised and label-checked."""
+        return self._check_labelled(self.graphs[index])
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.graphs)
 
     def congestion_rates(self, channel: int = 0) -> np.ndarray:
-        """Per-design congestion rate for the given label channel."""
+        """Per-design congestion rate for the given label channel.
+
+        Manifest-backed sequences answer this from their metadata without
+        loading any graph blob.
+        """
+        rates = getattr(self.graphs, "congestion_rates", None)
+        if callable(rates):
+            return np.asarray(rates(channel))
         return np.array([g.congestion_rate(channel) for g in self.graphs])
 
     @property
@@ -163,7 +186,7 @@ class CongestionDataset:
         Features are standardised per design *after* the optional
         zero-G-cell-feature ablation, so zeroed channels stay zero.
         """
-        g = self.graphs[index]
+        g = self.graph(index)
         features = g.vc.copy()
         if self.zero_gcell_features:
             # Keep only the terminal mask (channel 3); zero densities.

@@ -1,0 +1,282 @@
+"""Content-addressed, per-design, per-stage pipeline cache.
+
+Layout under the cache root (``REPRO_CACHE_DIR`` or
+``~/.cache/repro-lhnn``)::
+
+    objects/<kk>/<key>.pkl      one stage product per key (content address)
+    manifests/<suite-key>.json  per-suite manifest of designs → stage keys
+
+Keys chain: the placement key hashes the design content and the
+placement-config slice; the routing key hashes the placement key and the
+router slice; the graph key hashes the routing key and the graph slice.
+Changing a downstream knob therefore never invalidates upstream entries,
+and a crashed run resumes exactly where it stopped — every finished
+stage of every finished design is already on disk.
+
+Writes are atomic (tmp file + ``os.replace``), so parallel workers can
+share one cache root without locking: the worst case is two workers
+computing the same product and one rename winning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuit.design import Design
+from .config import SCHEMA_VERSION, canonical_payload, fingerprint_of
+
+__all__ = ["default_cache_dir", "design_fingerprint", "StageCache",
+           "ManifestEntry", "SuiteManifest", "ManifestGraphs"]
+
+
+def default_cache_dir() -> str:
+    """Cache directory, override with ``REPRO_CACHE_DIR``."""
+    return os.environ.get("REPRO_CACHE_DIR",
+                          os.path.join(os.path.expanduser("~"),
+                                       ".cache", "repro-lhnn"))
+
+
+def design_fingerprint(design: Design) -> str:
+    """Content hash of a design: geometry, netlist, positions, metadata.
+
+    Everything the pipeline stages can read goes in, so two designs with
+    the same fingerprint produce bit-identical products.  Array bytes are
+    hashed directly (fast); names and metadata go through the canonical
+    JSON encoding.
+    """
+    h = hashlib.sha256()
+    h.update(f"schema:{SCHEMA_VERSION}".encode())
+    meta = json.dumps(canonical_payload({
+        "name": design.name,
+        "cell_names": design.cell_names,
+        "net_names": design.net_names,
+        "die": list(design.die),
+        "row_height": design.row_height,
+        "metadata": design.metadata,
+    }), sort_keys=True, separators=(",", ":")).encode()
+    h.update(meta)
+    for arr in (design.cell_w, design.cell_h, design.cell_fixed,
+                design.cell_x, design.cell_y, design.net_ptr,
+                design.pin_cell, design.pin_dx, design.pin_dy):
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()[:32]
+
+
+def _atomic_write(path: str, write) -> None:
+    """Write via tmp-file + rename; the tmp file never outlives failure."""
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class StageCache:
+    """Pickle store addressed by stage keys, with hit/miss accounting.
+
+    ``root=None`` disables persistence entirely (every ``load`` misses,
+    ``store`` is a no-op) — the runner then behaves like the old
+    uncached pipeline.
+    """
+
+    def __init__(self, root: str | None):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- key derivation ------------------------------------------------
+    @staticmethod
+    def chain_key(*parts: str) -> str:
+        """Derive a child key from parent keys / fingerprints."""
+        return fingerprint_of({"chain": list(parts)})
+
+    # -- object store --------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], f"{key}.pkl")
+
+    def load(self, key: str):
+        """Return the cached object for ``key`` or ``None`` on a miss."""
+        if self.root is not None:
+            path = self._path(key)
+            if os.path.exists(path):
+                try:
+                    with open(path, "rb") as handle:
+                        obj = pickle.load(handle)
+                except (OSError, pickle.UnpicklingError, EOFError,
+                        AttributeError, ImportError):
+                    pass  # corrupt/stale entry: treat as a miss, recompute
+                else:
+                    self.hits += 1
+                    return obj
+        self.misses += 1
+        return None
+
+    def store(self, key: str, obj) -> None:
+        """Atomically persist ``obj`` under ``key`` (no-op when disabled)."""
+        if self.root is None:
+            return
+        _atomic_write(self._path(key),
+                      lambda handle: pickle.dump(
+                          obj, handle, protocol=pickle.HIGHEST_PROTOCOL))
+        self.stores += 1
+
+    def contains(self, key: str) -> bool:
+        """True when ``key`` is present (does not touch counters)."""
+        return self.root is not None and os.path.exists(self._path(key))
+
+    # -- manifests -----------------------------------------------------
+    def manifest_path(self, suite_key: str) -> str:
+        return os.path.join(self.root, "manifests", f"{suite_key}.json")
+
+    def load_manifest(self, suite_key: str) -> "SuiteManifest | None":
+        if self.root is None:
+            return None
+        path = self.manifest_path(suite_key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as handle:
+                return SuiteManifest.from_json(json.load(handle))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # corrupt / schema-drifted manifest: cache miss
+
+    def store_manifest(self, manifest: "SuiteManifest") -> None:
+        if self.root is None:
+            return
+        payload = json.dumps(manifest.to_json(), indent=1,
+                             sort_keys=True).encode()
+        _atomic_write(self.manifest_path(manifest.suite_key),
+                      lambda handle: handle.write(payload))
+
+
+# ----------------------------------------------------------------------
+# Manifests
+# ----------------------------------------------------------------------
+
+@dataclass
+class ManifestEntry:
+    """One design's stage keys and summary stats inside a suite manifest."""
+
+    design_name: str
+    design_fp: str
+    place_key: str
+    route_key: str
+    graph_key: str
+    num_cells: int = 0
+    num_nets: int = 0
+    congestion_rate_h: float = 0.0
+    congestion_rate_v: float = 0.0
+
+
+@dataclass
+class SuiteManifest:
+    """Record of one prepared suite: per-design stage keys + provenance.
+
+    The manifest is what downstream consumers (the dataset, the CLI
+    ``stats`` summary) read instead of a monolithic suite pickle; the
+    actual graphs are loaded lazily per design through
+    :class:`ManifestGraphs`.
+    """
+
+    suite_key: str
+    suite_name: str
+    config_fp: str
+    schema_version: int = SCHEMA_VERSION
+    entries: list[ManifestEntry] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "suite_key": self.suite_key,
+            "suite_name": self.suite_name,
+            "config_fp": self.config_fp,
+            "schema_version": self.schema_version,
+            "entries": [vars(e).copy() for e in self.entries],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SuiteManifest":
+        return cls(
+            suite_key=payload["suite_key"],
+            suite_name=payload["suite_name"],
+            config_fp=payload["config_fp"],
+            schema_version=int(payload.get("schema_version", 0)),
+            entries=[ManifestEntry(**e) for e in payload["entries"]],
+        )
+
+    def is_complete(self, cache: StageCache) -> bool:
+        """True when every entry's graph blob is present in ``cache``."""
+        return bool(self.entries) and all(
+            cache.contains(e.graph_key) for e in self.entries)
+
+
+class ManifestGraphs:
+    """Lazy, memoised sequence of LH-graphs behind a suite manifest.
+
+    Quacks like the ``list[LHGraph]`` the dataset historically consumed,
+    but loads each per-design graph blob from the stage cache on first
+    access only.  Congestion rates are answered straight from the
+    manifest without touching any blob, which keeps split selection and
+    ``stats`` summaries free of deserialisation cost.
+    """
+
+    def __init__(self, manifest: SuiteManifest, cache: StageCache,
+                 graphs: "list | None" = None):
+        self.manifest = manifest
+        self.cache = cache
+        # ``graphs`` pre-seeds the memo (entry order) so a run that just
+        # computed the suite doesn't re-deserialise its own blobs.
+        if graphs is not None and len(graphs) != len(manifest.entries):
+            raise ValueError("preloaded graphs disagree with manifest size")
+        self._graphs: list = (list(graphs) if graphs is not None
+                              else [None] * len(manifest.entries))
+
+    def __len__(self) -> int:
+        return len(self.manifest.entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        if self._graphs[index] is None:
+            entry = self.manifest.entries[index]
+            graph = self.cache.load(entry.graph_key)
+            if graph is None:
+                raise KeyError(
+                    f"graph blob {entry.graph_key} for design "
+                    f"{entry.design_name!r} missing from cache "
+                    f"{self.cache.root!r}; re-run prepare")
+            self._graphs[index] = graph
+        return self._graphs[index]
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    def congestion_rates(self, channel: int = 0) -> np.ndarray:
+        """Per-design congestion rates from manifest metadata (no I/O)."""
+        if channel == 0:
+            return np.array([e.congestion_rate_h
+                             for e in self.manifest.entries])
+        return np.array([e.congestion_rate_v for e in self.manifest.entries])
+
+    @property
+    def names(self) -> list[str]:
+        return [e.design_name for e in self.manifest.entries]

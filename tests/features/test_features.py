@@ -71,6 +71,80 @@ class TestGNets:
         assert np.all(gnets.features[:, 2] >= 3)
 
 
+class TestVectorisedAgainstLoopReference:
+    """The difference-array map builders must reproduce the original
+    per-G-net loops: bit-exactly on dyadic weights (where float addition
+    is associative), and to accumulated-rounding precision (≤ 1e-12)
+    on organic designs."""
+
+    @pytest.fixture()
+    def dyadic_gnets(self):
+        """G-nets whose spans are powers of two, so every deposited
+        weight (1/span, npin·(span+span)/area) is dyadic and summation
+        order cannot change the result."""
+        from repro.features.gnet import GNetData
+        rng = np.random.default_rng(7)
+        n = 64
+        span_choices = np.array([1, 2, 4, 8])
+        span_h = rng.choice(span_choices, size=n)
+        span_v = rng.choice(span_choices, size=n)
+        gx0 = rng.integers(0, 16 - span_h + 1)
+        gy0 = rng.integers(0, 16 - span_v + 1)
+        npin = rng.integers(2, 9, size=n).astype(float)
+        feats = np.stack([span_v.astype(float), span_h.astype(float),
+                          npin, (span_h * span_v).astype(float)], axis=-1)
+        return GNetData(net_ids=np.arange(n),
+                        gx0=gx0, gy0=gy0,
+                        gx1=gx0 + span_h - 1, gy1=gy0 + span_v - 1,
+                        features=feats)
+
+    def test_net_density_exact_on_dyadic_spans(self, dyadic_gnets):
+        from repro.features.gcell import _net_density_maps_reference
+        h, v = net_density_maps(dyadic_gnets, 16, 16)
+        h_ref, v_ref = _net_density_maps_reference(dyadic_gnets, 16, 16)
+        assert np.array_equal(h, h_ref)
+        assert np.array_equal(v, v_ref)
+
+    def test_rudy_exact_on_dyadic_spans(self, dyadic_gnets):
+        from repro.features.gcell import _rudy_map_reference
+        assert np.array_equal(rudy_map(dyadic_gnets, 16, 16),
+                              _rudy_map_reference(dyadic_gnets, 16, 16))
+
+    def test_net_density_matches_loop_on_organic_design(self, gnets,
+                                                        grid_module):
+        from repro.features.gcell import _net_density_maps_reference
+        h, v = net_density_maps(gnets, grid_module.nx, grid_module.ny)
+        h_ref, v_ref = _net_density_maps_reference(gnets, grid_module.nx,
+                                                   grid_module.ny)
+        np.testing.assert_allclose(h, h_ref, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(v, v_ref, rtol=0, atol=1e-12)
+
+    def test_rudy_matches_loop_on_organic_design(self, gnets, grid_module):
+        from repro.features.gcell import _rudy_map_reference
+        np.testing.assert_allclose(
+            rudy_map(gnets, grid_module.nx, grid_module.ny),
+            _rudy_map_reference(gnets, grid_module.nx, grid_module.ny),
+            rtol=0, atol=1e-12)
+
+    def test_terminal_mask_exact(self, placed_design_module, grid_module):
+        from repro.features.gcell import _terminal_mask_reference
+        assert np.array_equal(
+            terminal_mask(placed_design_module, grid_module),
+            _terminal_mask_reference(placed_design_module, grid_module))
+
+    def test_empty_gnets(self):
+        from repro.features.gnet import GNetData
+        empty = GNetData(net_ids=np.zeros(0, dtype=np.int64),
+                         gx0=np.zeros(0, dtype=np.int64),
+                         gy0=np.zeros(0, dtype=np.int64),
+                         gx1=np.zeros(0, dtype=np.int64),
+                         gy1=np.zeros(0, dtype=np.int64),
+                         features=np.zeros((0, 4)))
+        h, v = net_density_maps(empty, 8, 8)
+        assert h.shape == (8, 8) and not h.any() and not v.any()
+        assert not rudy_map(empty, 8, 8).any()
+
+
 class TestGCellFeatures:
     def test_net_density_mass(self, gnets, grid_module):
         """Each net contributes exactly span_h to total H density."""

@@ -63,6 +63,17 @@ class TestPipelineConfig:
         b = PipelineConfig(grid_nx=16)
         assert a.fingerprint() != b.fingerprint()
 
+    def test_fingerprint_recurses_into_nested_dataclasses(self):
+        a = PipelineConfig(router=RouterConfig(rrr_iterations=4))
+        b = PipelineConfig(router=RouterConfig(rrr_iterations=5))
+        c = PipelineConfig(placement=PlacementConfig(anchor_weight=0.2))
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+    def test_fingerprint_is_hex_digest(self):
+        fp = PipelineConfig().fingerprint()
+        assert len(fp) == 32
+        int(fp, 16)  # raises if not hex
+
     def test_cache_dir_env_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         assert default_cache_dir() == str(tmp_path)

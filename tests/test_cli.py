@@ -21,6 +21,85 @@ class TestParser:
             cli._build_parser().parse_args(["predict"])
 
 
+class TestPrepareParser:
+    def test_prepare_defaults(self):
+        args = cli._build_parser().parse_args(["prepare"])
+        assert args.suite == "superblue"
+        assert args.workers == 1
+        assert args.bookshelf_dir is None
+        assert not args.list_suites
+
+    def test_prepare_flags(self):
+        args = cli._build_parser().parse_args(
+            ["prepare", "--suite", "hotspot", "--workers", "4",
+             "--count", "2", "--no-cache"])
+        assert args.suite == "hotspot"
+        assert args.workers == 4
+        assert args.count == 2
+        assert args.no_cache
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            cli._build_parser().parse_args(["prepare", "--workers", "0"])
+
+
+class TestPrepareCommand:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        return tmp_path
+
+    def test_list_suites(self, capsys):
+        assert cli.main(["prepare", "--list-suites"]) == 0
+        out = capsys.readouterr().out
+        for name in ("superblue", "macro-heavy", "hotspot", "bookshelf"):
+            assert name in out
+
+    def test_unknown_suite_fails_cleanly(self, capsys):
+        assert cli.main(["prepare", "--suite", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_bookshelf_without_dir_fails_cleanly(self, capsys):
+        assert cli.main(["prepare", "--suite", "bookshelf"]) == 2
+        assert "--bookshelf-dir" in capsys.readouterr().err
+
+    def test_unsupported_params_fail_cleanly(self, capsys):
+        assert cli.main(["prepare", "--suite", "superblue",
+                         "--count", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "does not accept parameters" in err
+        assert "count" in err
+
+    def test_prepare_superblue_end_to_end(self, capsys, monkeypatch):
+        import repro.pipeline as pl
+        orig = pl.superblue_suite
+        monkeypatch.setattr(
+            pl, "superblue_suite",
+            lambda scale, base_seed: orig(scale=scale,
+                                          base_seed=base_seed)[:2])
+        assert cli.main(["prepare", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "prepared 2 designs of suite 'superblue'" in out
+
+    @pytest.mark.slow
+    def test_prepare_scenario_suite_end_to_end(self, capsys):
+        assert cli.main(["prepare", "--suite", "hotspot", "--count", "2",
+                         "--scale", "0.15", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "prepared 2 designs of suite 'hotspot'" in out
+
+    @pytest.mark.slow
+    def test_prepare_bookshelf_end_to_end(self, capsys, tmp_path):
+        from repro.circuit import DesignSpec, generate_design, write_design
+        d = generate_design(DesignSpec(name="clibs", seed=61,
+                                       num_movable=80, die_size=32.0))
+        write_design(d, str(tmp_path / "bs"))
+        assert cli.main(["prepare", "--suite", "bookshelf",
+                         "--bookshelf-dir", str(tmp_path / "bs")]) == 0
+        out = capsys.readouterr().out
+        assert "prepared 1 designs of suite 'bookshelf'" in out
+
+
 class TestInfo:
     def test_info_runs(self, capsys):
         assert cli.main(["info"]) == 0
