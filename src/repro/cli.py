@@ -9,6 +9,9 @@ Usage (after ``pip install -e .``)::
                                   [--out ckpt.npz]
     python -m repro.cli evaluate  --checkpoint ckpt.npz   # held-out metrics
     python -m repro.cli predict   --checkpoint ckpt.npz --design superblue5
+                                  [--channel h|v|both] [--suite NAME]
+    python -m repro.cli serve     --checkpoint ckpt.npz [--port N]
+                                  [--max-batch 8]       # JSON-lines loop
     python -m repro.cli info                              # package versions
 
 Every subcommand works off the cached pipeline products, so the first
@@ -73,10 +76,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", required=True)
 
     p = sub.add_parser("predict", help="render prediction vs truth for one "
-                       "design")
+                       "design (served through the inference engine)")
     p.add_argument("--checkpoint", required=True)
     p.add_argument("--design", required=True,
                    help="design name, e.g. superblue5")
+    p.add_argument("--suite", default="superblue",
+                   help="workload the design belongs to")
+    p.add_argument("--channel", choices=("h", "v", "both"), default="h",
+                   help="congestion direction(s): 'v' needs a duo-channel "
+                        "checkpoint, 'both' renders every channel the "
+                        "checkpoint provides (H only for uni-channel)")
+
+    p = sub.add_parser("serve", help="long-lived batched inference loop "
+                       "(JSON lines on stdin/stdout, or --port for TCP)")
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--port", type=int, default=None,
+                   help="serve the line protocol on this TCP port "
+                        "(0 = pick a free one); default: stdin/stdout")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--suite", default="superblue",
+                   help="default workload for requests without 'suite'")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--max-batch", type=_positive_int, default=8,
+                   dest="max_batch",
+                   help="max designs composed into one block-diagonal "
+                        "forward pass per flush")
 
     sub.add_parser("info", help="print version and dependency info")
     return parser
@@ -152,7 +176,7 @@ def cmd_stats(args) -> int:
 
 def cmd_train(args) -> int:
     from repro.models.lhnn import LHNNConfig
-    from repro.nn.serialize import save_checkpoint
+    from repro.serve.registry import save_model
     from repro.train import TrainConfig, evaluate_lhnn, train_lhnn
     channels = 2 if args.duo else 1
     dataset = _load_dataset(channels=channels)
@@ -164,7 +188,9 @@ def cmd_train(args) -> int:
     metrics = evaluate_lhnn(model, dataset.test_samples(),
                             batch_size=args.batch_size)
     print(f"held-out F1 {metrics['f1']:.2f} %  ACC {metrics['acc']:.2f} %")
-    path = save_checkpoint(model, args.out, metadata={
+    # save_model embeds the full architecture spec, so the checkpoint
+    # restores deterministically via the model registry.
+    path = save_model(model, args.out, metadata={
         "channels": channels, "epochs": args.epochs, "seed": args.seed,
         "gamma": args.gamma, "batch_size": args.batch_size,
         "f1": metrics["f1"], "acc": metrics["acc"],
@@ -174,23 +200,16 @@ def cmd_train(args) -> int:
 
 
 def _restore_model(checkpoint: str):
-    from repro.models.lhnn import LHNN, LHNNConfig
-    from repro.nn.serialize import load_checkpoint
-    probe = LHNN(LHNNConfig(channels=1), np.random.default_rng(0))
-    try:
-        meta = load_checkpoint(probe, checkpoint)
-        return probe, meta
-    except Exception:
-        probe = LHNN(LHNNConfig(channels=2), np.random.default_rng(0))
-        meta = load_checkpoint(probe, checkpoint)
-        return probe, meta
+    """Registry-based restore (kept for callers of the old helper)."""
+    from repro.serve.registry import restore_model
+    return restore_model(checkpoint)
 
 
 def cmd_evaluate(args) -> int:
     from repro.eval.reporting import per_design_report, predicted_rate_table
-    model, meta = _restore_model(args.checkpoint)
-    channels = int(meta.get("channels", model.config.channels))
-    dataset = _load_dataset(channels=channels)
+    from repro.serve.registry import output_channels, restore_model
+    model, meta = restore_model(args.checkpoint)
+    dataset = _load_dataset(channels=output_channels(model))
     rows = per_design_report(model, dataset.test_samples())
     print(predicted_rate_table(rows, title="Held-out per-design results"))
     f1s = [r["F1"] for r in rows]
@@ -198,28 +217,72 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+_CHANNEL_TITLES = {"h": "H congestion", "v": "V congestion"}
+
+
 def cmd_predict(args) -> int:
     from repro.eval import comparison_panel
-    from repro.nn import Tensor, no_grad
-    model, meta = _restore_model(args.checkpoint)
-    channels = int(meta.get("channels", model.config.channels))
-    dataset = _load_dataset(channels=channels)
-    names = [g.name for g in dataset.graphs]
-    if args.design not in names:
-        print(f"unknown design {args.design!r}; choose from {names}",
-              file=sys.stderr)
+    from repro.nn.serialize import CheckpointError
+    from repro.pipeline import PipelineConfig
+    from repro.serve import (DesignResolver, InferenceEngine,
+                             PredictRequest, ServeConfig, restore_model)
+    try:
+        model, _ = restore_model(args.checkpoint)
+    except CheckpointError as exc:
+        print(f"predict failed: {exc}", file=sys.stderr)
         return 2
-    sample = dataset.sample(names.index(args.design))
-    model.eval()
-    with no_grad():
-        out = model(sample.graph, vc=Tensor(sample.features),
-                    vn=Tensor(sample.net_features))
-    g = sample.graph
-    panel = comparison_panel(
-        g.map_to_grid(sample.cls_target[:, 0]),
-        {"LHNN": g.map_to_grid(out.cls_prob.data[:, 0])},
-        title=f"{g.name} (H congestion)")
-    print(panel)
+    config = PipelineConfig()
+    engine = InferenceEngine(model, ServeConfig(pipeline=config))
+    resolver = DesignResolver(config, default_suite=args.suite)
+    try:
+        design = resolver.resolve({"design": args.design,
+                                   "suite": args.suite})
+        result = engine.predict(PredictRequest(design=design,
+                                               channel=args.channel))
+    except ValueError as exc:
+        print(f"predict failed: {exc}", file=sys.stderr)
+        return 2
+    family = engine.family.upper()
+    for channel, grid in result.grids.items():
+        if result.truth is None:
+            from repro.eval.visualize import ascii_heatmap
+            print(f"{result.name} ({_CHANNEL_TITLES[channel]}, "
+                  f"predicted by {family})")
+            print(ascii_heatmap(grid))
+        else:
+            print(comparison_panel(
+                result.truth[channel], {family: grid},
+                title=f"{result.name} ({_CHANNEL_TITLES[channel]})"))
+        rate = result.predicted_rate[channel]
+        print(f"predicted {channel.upper()}-congestion rate: "
+              f"{100 * rate:.2f} %\n")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.nn.serialize import CheckpointError
+    from repro.pipeline import PipelineConfig
+    from repro.serve import (DesignResolver, InferenceEngine, ServeConfig,
+                             restore_model, serve_forever, serve_socket)
+    try:
+        model, _ = restore_model(args.checkpoint)
+    except CheckpointError as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 2
+    config = PipelineConfig(scale=args.scale)
+    engine = InferenceEngine(model, ServeConfig(pipeline=config,
+                                                max_batch=args.max_batch))
+    resolver = DesignResolver(config, default_suite=args.suite)
+    if args.port is None:
+        print(f"[serve] {engine.family} ({engine.channels} channel(s)); "
+              f"JSON lines on stdin, one op per line "
+              f"(predict/flush/stats/ping/shutdown)", file=sys.stderr)
+        serve_forever(engine, resolver, sys.stdin, sys.stdout)
+    else:
+        serve_socket(engine, resolver, args.port, host=args.host,
+                     ready_callback=lambda p: print(
+                         f"[serve] listening on {args.host}:{p}",
+                         file=sys.stderr))
     return 0
 
 
@@ -243,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": cmd_train,
         "evaluate": cmd_evaluate,
         "predict": cmd_predict,
+        "serve": cmd_serve,
         "info": cmd_info,
     }[args.command]
     return handler(args)

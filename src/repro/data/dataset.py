@@ -28,7 +28,8 @@ from ..graph.batch import BatchCache, batch_graphs
 from ..graph.lhgraph import LHGraph
 from .splits import SplitResult, select_balanced_split
 
-__all__ = ["CongestionDataset", "GraphSample", "collate_samples"]
+__all__ = ["CongestionDataset", "GraphSample", "collate_samples",
+           "sample_of"]
 
 
 def standardize(features: np.ndarray) -> np.ndarray:
@@ -53,10 +54,56 @@ class GraphSample:
     features: np.ndarray
     net_features: np.ndarray
     image: np.ndarray
-    cls_target: np.ndarray
-    reg_target: np.ndarray
-    cls_image: np.ndarray
-    reg_image: np.ndarray
+    cls_target: np.ndarray | None
+    reg_target: np.ndarray | None
+    cls_image: np.ndarray | None
+    reg_image: np.ndarray | None
+
+
+def _as_image(values: np.ndarray | None, nx: int, ny: int):
+    """Flat (Nc, C) per-G-cell rows → NCHW (1, C, nx, ny) image view."""
+    if values is None:
+        return None
+    return values.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
+
+
+def sample_of(graph: LHGraph, channels: int = 1,
+              zero_gcell_features: bool = False) -> GraphSample:
+    """Materialise every model-family view of one prepared LH-graph.
+
+    Features are standardised per design *after* the optional
+    zero-G-cell-feature ablation, so zeroed channels stay zero.  Label
+    views are ``None`` for unlabelled graphs (e.g. a serving request
+    whose pipeline skipped label extraction); the training dataset
+    rejects those up front, the serving engine simply omits truth maps.
+    """
+    features = graph.vc.copy()
+    if zero_gcell_features:
+        # Keep only the terminal mask (channel 3); zero densities.
+        features[:, 0:3] = 0.0
+    features = standardize(features)
+    net_features = standardize(graph.vn)
+    cls_target = reg_target = None
+    if graph.congestion is not None:
+        cls_target = graph.congestion[:, :channels]
+    if graph.demand is not None:
+        reg_target = graph.demand[:, :channels]
+    nx, ny = graph.nx, graph.ny
+    return GraphSample(
+        name=graph.name, graph=graph,
+        features=features, net_features=net_features,
+        image=_as_image(features, nx, ny),
+        cls_target=cls_target, reg_target=reg_target,
+        cls_image=_as_image(cls_target, nx, ny),
+        reg_image=_as_image(reg_target, nx, ny),
+    )
+
+
+def _cat(arrays: list) -> np.ndarray | None:
+    """Row-concatenate, propagating None when any member lacks the view."""
+    if any(a is None for a in arrays):
+        return None
+    return np.concatenate(arrays, axis=0)
 
 
 def _collate(samples: list[GraphSample]) -> GraphSample:
@@ -64,20 +111,19 @@ def _collate(samples: list[GraphSample]) -> GraphSample:
     batched = batch_graphs([s.graph for s in samples])
     features = np.concatenate([s.features for s in samples], axis=0)
     net_features = np.concatenate([s.net_features for s in samples], axis=0)
-    cls_target = np.concatenate([s.cls_target for s in samples], axis=0)
-    reg_target = np.concatenate([s.reg_target for s in samples], axis=0)
+    cls_target = _cat([s.cls_target for s in samples])
+    reg_target = _cat([s.reg_target for s in samples])
     # Flat per-G-cell order is gx * ny + gy; concatenation therefore *is*
     # the side-by-side-dies layout of the batched graph, and the image
     # views reshape directly to its (Σ nx_i) × ny grid.
     nx, ny = batched.nx, batched.ny
-    image = features.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
-    cls_image = cls_target.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
-    reg_image = reg_target.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
     return GraphSample(
         name=batched.name, graph=batched,
-        features=features, net_features=net_features, image=image,
+        features=features, net_features=net_features,
+        image=_as_image(features, nx, ny),
         cls_target=cls_target, reg_target=reg_target,
-        cls_image=cls_image, reg_image=reg_image,
+        cls_image=_as_image(cls_target, nx, ny),
+        reg_image=_as_image(reg_target, nx, ny),
     )
 
 
@@ -183,28 +229,11 @@ class CongestionDataset:
     def sample(self, index: int) -> GraphSample:
         """Materialise every view of design ``index``.
 
-        Features are standardised per design *after* the optional
-        zero-G-cell-feature ablation, so zeroed channels stay zero.
+        Delegates to :func:`sample_of` after the label check (training
+        and evaluation always need targets).
         """
-        g = self.graph(index)
-        features = g.vc.copy()
-        if self.zero_gcell_features:
-            # Keep only the terminal mask (channel 3); zero densities.
-            features[:, 0:3] = 0.0
-        features = standardize(features)
-        net_features = standardize(g.vn)
-        cls_target = g.congestion[:, :self.channels]
-        reg_target = g.demand[:, :self.channels]
-        nx, ny = g.nx, g.ny
-        image = features.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
-        cls_image = cls_target.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
-        reg_image = reg_target.reshape(nx, ny, -1).transpose(2, 0, 1)[None]
-        return GraphSample(
-            name=g.name, graph=g,
-            features=features, net_features=net_features, image=image,
-            cls_target=cls_target, reg_target=reg_target,
-            cls_image=cls_image, reg_image=reg_image,
-        )
+        return sample_of(self.graph(index), channels=self.channels,
+                         zero_gcell_features=self.zero_gcell_features)
 
     # ------------------------------------------------------------------
     def table1_rows(self) -> list[dict]:

@@ -25,7 +25,7 @@ import numpy as np
 from ..nn.sparse import block_diag
 from .lhgraph import LHGraph
 
-__all__ = ["batch_graphs", "unbatch_values", "BatchCache"]
+__all__ = ["batch_graphs", "unbatch_values", "plan_batches", "BatchCache"]
 
 
 def batch_graphs(graphs: list[LHGraph]) -> LHGraph:
@@ -113,6 +113,29 @@ def unbatch_values(batched: LHGraph, values: np.ndarray) -> list[np.ndarray]:
             f"(per-G-net) for batch {batched.name!r}")
     splits = np.cumsum(counts)[:-1]
     return [np.asarray(part) for part in np.split(values, splits)]
+
+
+def plan_batches(graphs: list[LHGraph],
+                 max_batch: int = 8) -> list[list[int]]:
+    """Partition graph indices into block-diagonal-batchable groups.
+
+    :func:`batch_graphs` composes designs side by side along x, so every
+    member of a group must share ``ny``; groups also respect
+    ``max_batch`` (one forward pass per group).  Grouping is greedy in
+    submission order within each ``ny`` class, so results can be mapped
+    back to the original order via the returned indices.  This is the
+    micro-batching planner of :class:`repro.serve.engine.InferenceEngine`.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    by_ny: OrderedDict[int, list[int]] = OrderedDict()
+    for i, g in enumerate(graphs):
+        by_ny.setdefault(g.ny, []).append(i)
+    groups: list[list[int]] = []
+    for members in by_ny.values():
+        for start in range(0, len(members), max_batch):
+            groups.append(members[start:start + max_batch])
+    return groups
 
 
 class BatchCache:

@@ -28,6 +28,9 @@ class MLPBaseline(Module):
                  channels: int = 1, rng: np.random.Generator | None = None):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.hidden = hidden
+        self.channels = channels
         self.input = Linear(in_features, hidden, rng)
         self.blocks = [ResidualMLP(hidden, hidden, hidden, rng)
                        for _ in range(3)]

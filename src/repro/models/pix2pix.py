@@ -52,6 +52,9 @@ class Pix2Pix(Module):
                  base_width: int = 12, rng: np.random.Generator | None = None):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.base_width = base_width
         self.generator = UNet(in_channels, out_channels,
                               base_width=base_width, rng=rng,
                               final_sigmoid=True)

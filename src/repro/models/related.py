@@ -90,6 +90,10 @@ class GridSAGE(Module):
                  rng: np.random.Generator | None = None):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.hidden = hidden
+        self.channels = channels
+        self.num_layers = num_layers
         dims = [in_features] + [hidden] * num_layers
         self.layers = [SAGELayer(dims[i], dims[i + 1], rng)
                        for i in range(num_layers)]

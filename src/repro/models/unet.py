@@ -55,6 +55,9 @@ class UNet(Module):
                  final_sigmoid: bool = True):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.base_width = base_width
         w = base_width
         self.enc1 = DoubleConv(in_channels, w, rng)
         self.pool1 = MaxPool2d(2)

@@ -18,7 +18,8 @@ from .sparse import (SparseMatrix, spmm, row_normalize, degree_vector,
 from .optim import SGD, Adam, clip_grad_norm, StepLR, CosineLR, two_phase_lr
 from .losses import (MSELoss, BCELoss, GammaWeightedBCE, JointLoss,
                      GANLoss, L1Loss)
-from .serialize import save_checkpoint, load_checkpoint, CheckpointError
+from .serialize import (save_checkpoint, load_checkpoint,
+                        read_checkpoint_header, CheckpointError)
 
 __all__ = [
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled", "functional",
@@ -29,5 +30,6 @@ __all__ = [
     "SparseMatrix", "spmm", "row_normalize", "degree_vector", "block_diag",
     "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineLR", "two_phase_lr",
     "MSELoss", "BCELoss", "GammaWeightedBCE", "JointLoss", "GANLoss", "L1Loss",
-    "save_checkpoint", "load_checkpoint", "CheckpointError",
+    "save_checkpoint", "load_checkpoint", "read_checkpoint_header",
+    "CheckpointError",
 ]

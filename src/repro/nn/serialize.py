@@ -9,12 +9,14 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 
 import numpy as np
 
 from .layers import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError"]
+__all__ = ["save_checkpoint", "load_checkpoint", "read_checkpoint_header",
+           "CheckpointError"]
 
 _HEADER_KEY = "__repro_header__"
 
@@ -48,22 +50,66 @@ def save_checkpoint(model: Module, path: str,
     return path if path.endswith(".npz") else path + ".npz"
 
 
+def _resolve_path(path: str) -> str:
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        return path + ".npz"
+    return path
+
+
+def _read_archive(path: str,
+                  with_state: bool = True) -> tuple[dict, dict | None]:
+    """Read ``(header, state)`` from ``path``.
+
+    ``with_state=False`` decompresses only the header member — the cheap
+    path for metadata-only readers like
+    :func:`read_checkpoint_header`.  Corrupt, truncated or non-npz files
+    surface as :class:`CheckpointError` (numpy raises a zoo of
+    ``BadZipFile`` / ``OSError`` / ``ValueError`` depending on *how* the
+    bytes are wrong).
+    """
+    if not os.path.exists(path):
+        raise CheckpointError(f"{path}: no such checkpoint")
+    try:
+        with np.load(path) as archive:
+            if _HEADER_KEY not in archive:
+                raise CheckpointError(f"{path}: not a repro checkpoint")
+            header = json.loads(
+                bytes(archive[_HEADER_KEY].tobytes()).decode())
+            state = ({k: archive[k] for k in archive.files
+                      if k != _HEADER_KEY} if with_state else None)
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError,
+            json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointError(
+            f"{path}: unreadable checkpoint ({exc})") from exc
+    if header.get("format") != "repro-checkpoint-v1":
+        raise CheckpointError(f"{path}: unknown format "
+                              f"{header.get('format')!r}")
+    return header, state
+
+
+def read_checkpoint_header(path: str) -> dict:
+    """Return the JSON header of a checkpoint without needing a model.
+
+    The header carries ``format``, ``num_parameters``,
+    ``parameter_names`` and ``metadata`` (where
+    :func:`repro.serve.registry.save_model` records the typed
+    architecture description).  Only the header member is decompressed —
+    parameter arrays are left untouched.  Raises
+    :class:`CheckpointError` on any malformed file.
+    """
+    header, _ = _read_archive(_resolve_path(path), with_state=False)
+    return header
+
+
 def load_checkpoint(model: Module, path: str) -> dict:
     """Load parameters from ``path`` into ``model``; returns the metadata.
 
-    Raises :class:`CheckpointError` on missing header, parameter-name
-    mismatch or shape mismatch (delegated to ``load_state_dict``).
+    Raises :class:`CheckpointError` on an unreadable file, missing
+    header, parameter-name mismatch or shape mismatch (the latter two
+    delegated to ``load_state_dict``).
     """
-    if not os.path.exists(path) and os.path.exists(path + ".npz"):
-        path = path + ".npz"
-    with np.load(path) as archive:
-        if _HEADER_KEY not in archive:
-            raise CheckpointError(f"{path}: not a repro checkpoint")
-        header = json.loads(bytes(archive[_HEADER_KEY].tobytes()).decode())
-        if header.get("format") != "repro-checkpoint-v1":
-            raise CheckpointError(f"{path}: unknown format "
-                                  f"{header.get('format')!r}")
-        state = {k: archive[k] for k in archive.files if k != _HEADER_KEY}
+    path = _resolve_path(path)
+    header, state = _read_archive(path)
     try:
         model.load_state_dict(state)
     except (KeyError, ValueError) as exc:

@@ -1,0 +1,42 @@
+"""``repro.serve`` — the batched congestion-inference serving layer.
+
+Everything the paper's end use (fast congestion prediction inside a
+placement loop) needs as a *service* rather than a one-shot script:
+
+* :mod:`~repro.serve.registry` — typed architecture metadata in
+  checkpoints; any model family restores deterministically from file,
+* :mod:`~repro.serve.engine` — request queueing, on-demand pipeline
+  preparation with a content-addressed warm cache, and dynamic
+  micro-batching into block-diagonal supergraph forward passes,
+* :mod:`~repro.serve.server` / :mod:`~repro.serve.client` — a JSON-lines
+  protocol (stdin/stdout or TCP) and the matching Python clients.
+
+Entry points: ``repro.cli serve`` (long-lived loop), ``repro.cli
+predict`` (one-shot through the same engine), or in Python::
+
+    from repro.serve import InferenceEngine, PredictRequest, restore_model
+    model, meta = restore_model("artifacts/lhnn.npz")
+    engine = InferenceEngine(model)
+    engine.submit(PredictRequest(design=design_a))
+    engine.submit(PredictRequest(design=design_b))
+    results = engine.flush()          # one batched forward pass
+"""
+
+from .cache import SampleCache
+from .client import LocalClient, ServeClient, ServeError
+from .engine import (InferenceEngine, PredictRequest, PredictResult,
+                     ServeConfig)
+from .registry import (ModelFamily, build_model, family_of, get_family,
+                       list_families, model_spec, output_channels,
+                       register_family, restore_model, save_model)
+from .server import DesignResolver, serve_forever, serve_socket
+
+__all__ = [
+    "SampleCache",
+    "LocalClient", "ServeClient", "ServeError",
+    "InferenceEngine", "PredictRequest", "PredictResult", "ServeConfig",
+    "ModelFamily", "build_model", "family_of", "get_family",
+    "list_families", "model_spec", "output_channels", "register_family",
+    "restore_model", "save_model",
+    "DesignResolver", "serve_forever", "serve_socket",
+]

@@ -1,0 +1,69 @@
+"""In-memory serving cache for prepared, model-ready samples.
+
+The pipeline's :class:`~repro.pipeline.cache.StageCache` already makes
+repeat preparation of a design cheap (disk hit instead of place/route),
+but a serving loop answering many requests for the same few designs
+should not even deserialise the graph blob or re-standardise features.
+:class:`SampleCache` is the hot tier above it: an LRU of fully-built
+:class:`~repro.data.dataset.GraphSample` objects keyed by the pipeline's
+content-addressed *graph* stage key, so a warm request does zero
+placement, routing, featurisation or disk I/O.
+
+Keys are content hashes (design fingerprint chained with the config
+fingerprints of every stage), so entries can never serve stale results:
+any change to the design or the pipeline configuration changes the key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..data.dataset import GraphSample
+
+__all__ = ["SampleCache"]
+
+
+class SampleCache:
+    """LRU of prepared samples keyed by content-addressed stage keys."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, GraphSample] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> GraphSample | None:
+        """The cached sample for ``key`` (refreshed as most-recent), or None."""
+        sample = self._entries.get(key)
+        if sample is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return sample
+
+    def put(self, key: str, sample: GraphSample) -> None:
+        """Insert ``sample``, evicting the least-recently-used overflow."""
+        self._entries[key] = sample
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        """Counters for the engine's ``stats`` endpoint."""
+        return {"entries": len(self._entries), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses}

@@ -1,0 +1,180 @@
+"""Python clients for the serving engine.
+
+Two clients share one call surface:
+
+* :class:`ServeClient` speaks the JSON-lines protocol of
+  :mod:`repro.serve.server` over a TCP socket (or any reader/writer
+  pair) — use against a long-lived ``repro.cli serve`` process;
+* :class:`LocalClient` drives an in-process
+  :class:`~repro.serve.engine.InferenceEngine` directly with the same
+  methods — no sockets, no serialisation; handy in notebooks, examples
+  and benchmarks.
+
+Both follow the engine's queue-then-flush model::
+
+    client.predict(design="superblue5")        # queued
+    client.predict(design="superblue7")        # queued
+    results = client.flush()                   # one batched forward pass
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+__all__ = ["ServeClient", "LocalClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A request the server answered with ``ok: false``."""
+
+
+class ServeClient:
+    """JSON-lines protocol client.
+
+    Construct with a connected ``reader``/``writer`` pair, or use
+    :meth:`connect` for TCP.  Not thread-safe (one in-flight exchange at
+    a time, like the server).
+    """
+
+    def __init__(self, reader, writer, *, close=None):
+        self._reader = reader
+        self._writer = writer
+        self._close = close
+        self._next_id = 0
+
+    @classmethod
+    def connect(cls, port: int, host: str = "127.0.0.1",
+                timeout: float = 30.0) -> "ServeClient":
+        """Open a TCP connection to a ``repro.cli serve --port`` server."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        reader = sock.makefile("r", encoding="utf-8")
+        writer = sock.makefile("w", encoding="utf-8")
+
+        def close():
+            reader.close()
+            writer.close()
+            sock.close()
+        return cls(reader, writer, close=close)
+
+    # -- plumbing --------------------------------------------------------
+    def _send(self, payload: dict) -> None:
+        self._writer.write(json.dumps(payload) + "\n")
+        self._writer.flush()
+
+    def _recv(self) -> dict:
+        line = self._reader.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        reply = json.loads(line)
+        if not reply.get("ok", False):
+            raise ServeError(reply.get("error", "unknown server error"))
+        return reply
+
+    def _rpc(self, payload: dict) -> dict:
+        self._send(payload)
+        return self._recv()
+
+    # -- protocol surface -------------------------------------------------
+    def predict(self, design: str | None = None, suite: str | None = None,
+                spec: dict | None = None, channel: str = "h",
+                request_id=None) -> dict:
+        """Queue one prediction; returns the server's ack.
+
+        Reference a suite design (``design=``, optional ``suite=``) or
+        pass an inline generator ``spec``.  The actual result arrives
+        with the next :meth:`flush`.
+        """
+        if request_id is None:
+            self._next_id += 1
+            request_id = self._next_id
+        payload = {"op": "predict", "id": request_id, "channel": channel}
+        if spec is not None:
+            payload["spec"] = spec
+        if design is not None:
+            payload["design"] = design
+        if suite is not None:
+            payload["suite"] = suite
+        return self._rpc(payload)
+
+    def flush(self) -> list[dict]:
+        """Answer every queued request; returns results in submit order."""
+        self._send({"op": "flush"})
+        results = []
+        while True:
+            reply = self._recv()
+            if reply.get("status") == "flushed":
+                return results
+            results.append(reply)
+
+    def stats(self) -> dict:
+        """Engine counters and cache hit rates."""
+        return self._rpc({"op": "stats"})["stats"]
+
+    def ping(self) -> bool:
+        return self._rpc({"op": "ping"}).get("status") == "pong"
+
+    def shutdown(self) -> None:
+        """Stop the server (and close this connection)."""
+        try:
+            self._rpc({"op": "shutdown"})
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if self._close is not None:
+            self._close()
+            self._close = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class LocalClient:
+    """The client call surface over an in-process engine.
+
+    Results are returned as the same JSON-shaped dicts the wire protocol
+    produces (``{"id": ..., "result": {...}}``), so code written against
+    :class:`ServeClient` ports over by swapping the constructor.
+    """
+
+    def __init__(self, engine, resolver):
+        self.engine = engine
+        self.resolver = resolver
+        self._next_id = 0
+
+    def predict(self, design: str | None = None, suite: str | None = None,
+                spec: dict | None = None, channel: str = "h",
+                request_id=None) -> dict:
+        from .engine import PredictRequest
+        if request_id is None:
+            self._next_id += 1
+            request_id = self._next_id
+        payload = {}
+        if spec is not None:
+            payload["spec"] = spec
+        if design is not None:
+            payload["design"] = design
+        if suite is not None:
+            payload["suite"] = suite
+        resolved = self.resolver.resolve(payload)
+        pending = self.engine.submit(PredictRequest(
+            design=resolved, channel=channel, request_id=request_id))
+        return {"ok": True, "id": request_id, "status": "queued",
+                "pending": pending}
+
+    def flush(self) -> list[dict]:
+        return [{"ok": True, "id": r.request_id, "result": r.to_json()}
+                for r in self.engine.flush()]
+
+    def stats(self) -> dict:
+        return self.engine.stats()
+
+    def ping(self) -> bool:
+        return True
+
+    def close(self) -> None:
+        pass

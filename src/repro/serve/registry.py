@@ -1,0 +1,218 @@
+"""Model registry: typed architecture metadata ↔ deterministic restore.
+
+Historically the CLI restored checkpoints by *probing*: build an LHNN
+with 1 channel, try to load, catch ``Exception``, retry with 2 channels.
+That silently misreads any non-LHNN checkpoint and swallows real errors.
+
+This registry makes restore a pure function of the file.  Every model
+family registers
+
+* a ``config_of(model)`` extractor — the constructor hyper-parameters as
+  a JSON-serialisable dict,
+* a ``build(config, rng)`` factory — rebuild an identically-shaped model
+  from that dict.
+
+:func:`save_model` writes the family name and config dict into the
+checkpoint metadata (under ``metadata["model"]``), and
+:func:`restore_model` rebuilds exactly that architecture before loading
+the state dict — no probing, and a clear
+:class:`~repro.nn.serialize.CheckpointError` when the file names an
+unknown family or a config the factory rejects.
+
+Legacy checkpoints (written before the registry existed) carry no
+``model`` key; they are restored through the documented fallback — an
+LHNN whose channel count comes from the training metadata — rather than
+by trial and error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..models.lhnn import LHNN, LHNNConfig
+from ..models.mlp_baseline import MLPBaseline
+from ..models.pix2pix import Pix2Pix
+from ..models.related import GridSAGE
+from ..models.unet import UNet
+from ..nn.layers import Module
+from ..nn.serialize import (CheckpointError, load_checkpoint,
+                            read_checkpoint_header, save_checkpoint)
+
+__all__ = ["ModelFamily", "register_family", "get_family", "family_of",
+           "list_families", "model_spec", "build_model", "output_channels",
+           "save_model", "restore_model"]
+
+
+@dataclass(frozen=True)
+class ModelFamily:
+    """One registered architecture family.
+
+    ``config_of`` must return plain JSON-serialisable values (the dict is
+    stored inside the checkpoint header); ``build(config, rng)`` must
+    accept exactly what ``config_of`` produced.
+    """
+
+    name: str
+    model_type: type
+    config_of: Callable[[Module], dict]
+    build: Callable[[dict, np.random.Generator], Module]
+
+
+_REGISTRY: dict[str, ModelFamily] = {}
+_BY_TYPE: dict[type, ModelFamily] = {}
+
+
+def register_family(name: str, model_type: type,
+                    config_of: Callable[[Module], dict],
+                    build: Callable[[dict, np.random.Generator], Module]
+                    ) -> ModelFamily:
+    """Register an architecture family (last registration wins)."""
+    family = ModelFamily(name=name, model_type=model_type,
+                         config_of=config_of, build=build)
+    _REGISTRY[name] = family
+    _BY_TYPE[model_type] = family
+    return family
+
+
+def get_family(name: str) -> ModelFamily:
+    """Family by name; raises :class:`CheckpointError` with suggestions."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise CheckpointError(f"unknown model family {name!r}; "
+                              f"registered: {known}") from None
+
+
+def family_of(model: Module) -> ModelFamily:
+    """The family a live model instance belongs to (exact type match)."""
+    try:
+        return _BY_TYPE[type(model)]
+    except KeyError:
+        raise CheckpointError(
+            f"{type(model).__name__} is not a registered model family; "
+            f"call repro.serve.registry.register_family first") from None
+
+
+def list_families() -> list[str]:
+    """Registered family names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def output_channels(model: Module) -> int:
+    """Congestion channels a model predicts (1 = H only, 2 = H and V).
+
+    Read from the registry config rather than probed from a forward
+    pass; the CNN families call the knob ``out_channels``.
+    """
+    config = family_of(model).config_of(model)
+    return int(config.get("channels") or config.get("out_channels") or 1)
+
+
+def model_spec(model: Module) -> dict:
+    """The typed architecture description stored in checkpoints."""
+    family = family_of(model)
+    return {"family": family.name, "config": family.config_of(model)}
+
+
+def build_model(spec: dict, seed: int = 0) -> Module:
+    """Instantiate a model from a ``{"family", "config"}`` spec dict."""
+    if not isinstance(spec, dict) or "family" not in spec:
+        raise CheckpointError(f"malformed model spec: {spec!r}")
+    family = get_family(spec["family"])
+    config = spec.get("config") or {}
+    try:
+        return family.build(dict(config), np.random.default_rng(seed))
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"cannot build {spec['family']!r} from config {config!r}: "
+            f"{exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Checkpoint I/O with embedded architecture metadata
+# ----------------------------------------------------------------------
+
+def save_model(model: Module, path: str,
+               metadata: dict | None = None) -> str:
+    """Save ``model`` with its architecture spec embedded in the metadata.
+
+    A drop-in upgrade of :func:`repro.nn.serialize.save_checkpoint`:
+    the resulting file restores deterministically via
+    :func:`restore_model` with no model object in hand.
+    """
+    merged = dict(metadata or {})
+    merged["model"] = model_spec(model)
+    return save_checkpoint(model, path, metadata=merged)
+
+
+def _legacy_spec(metadata: dict, path: str) -> dict:
+    """Architecture spec for pre-registry checkpoints.
+
+    Old ``repro.cli train`` runs recorded ``channels`` (and only ever
+    trained LHNN), so that is the one legacy layout restored; anything
+    else is a hard error instead of a guess.
+    """
+    if "channels" in metadata:
+        return {"family": "lhnn",
+                "config": {"channels": int(metadata["channels"])}}
+    raise CheckpointError(
+        f"{path}: checkpoint has no architecture metadata and no legacy "
+        f"'channels' key; re-save it with repro.serve.registry.save_model")
+
+
+def restore_model(path: str, seed: int = 0) -> tuple[Module, dict]:
+    """Rebuild the checkpointed model from its embedded spec and load it.
+
+    Returns ``(model, metadata)``.  The model is built from the
+    ``metadata["model"]`` spec (family + config) written by
+    :func:`save_model`; a parameter-shape mismatch between spec and
+    arrays therefore indicates file corruption and raises
+    :class:`CheckpointError` rather than being silently retried.
+    """
+    header = read_checkpoint_header(path)
+    metadata = header.get("metadata", {})
+    spec = metadata.get("model") or _legacy_spec(metadata, path)
+    model = build_model(spec, seed=seed)
+    load_checkpoint(model, path)
+    return model, metadata
+
+
+# ----------------------------------------------------------------------
+# Built-in families
+# ----------------------------------------------------------------------
+
+register_family(
+    "lhnn", LHNN,
+    config_of=lambda m: asdict(m.config),
+    build=lambda cfg, rng: LHNN(LHNNConfig(**cfg), rng))
+
+register_family(
+    "mlp", MLPBaseline,
+    config_of=lambda m: {"in_features": m.in_features, "hidden": m.hidden,
+                         "channels": m.channels},
+    build=lambda cfg, rng: MLPBaseline(rng=rng, **cfg))
+
+register_family(
+    "gridsage", GridSAGE,
+    config_of=lambda m: {"in_features": m.in_features, "hidden": m.hidden,
+                         "channels": m.channels, "num_layers": m.num_layers},
+    build=lambda cfg, rng: GridSAGE(rng=rng, **cfg))
+
+register_family(
+    "unet", UNet,
+    config_of=lambda m: {"in_channels": m.in_channels,
+                         "out_channels": m.out_channels,
+                         "base_width": m.base_width,
+                         "final_sigmoid": m.final_sigmoid},
+    build=lambda cfg, rng: UNet(rng=rng, **cfg))
+
+register_family(
+    "pix2pix", Pix2Pix,
+    config_of=lambda m: {"in_channels": m.in_channels,
+                         "out_channels": m.out_channels,
+                         "base_width": m.base_width},
+    build=lambda cfg, rng: Pix2Pix(rng=rng, **cfg))

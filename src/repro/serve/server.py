@@ -1,0 +1,179 @@
+"""JSON-lines serving loop: the wire surface of the inference engine.
+
+One request per line, one (or more) JSON replies per line.  The same
+loop serves ``repro.cli serve`` over stdin/stdout *and* over a TCP
+socket — it only sees a line reader and a line writer, which is also
+what makes it trivially testable with in-memory streams.
+
+Protocol (all objects; unknown keys ignored)::
+
+    {"op": "predict", "id": 7, "suite": "superblue",
+     "design": "superblue5", "channel": "h"}   → queue; ack line
+    {"op": "predict", "id": 8, "spec": {"name": "adhoc", "seed": 1,
+     "num_movable": 150}}                      → generate + queue
+    {"op": "flush"}     → one result line per queued request (in
+                          submission order), then a summary line
+    {"op": "stats"}     → engine counters and cache hit rates
+    {"op": "ping"}      → liveness
+    {"op": "shutdown"}  → ack and end the loop
+
+Replies always carry ``"ok"``; predict acks and results echo ``"id"``.
+Queued requests are only *answered* at flush — that is the whole point:
+the engine composes everything queued into as few block-diagonal forward
+passes as possible.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from ..circuit.design import Design
+from ..circuit.generator import DesignSpec, generate_design
+from ..pipeline import PipelineConfig
+from ..pipeline.workloads import load_workload
+from .engine import InferenceEngine, PredictRequest
+
+__all__ = ["DesignResolver", "serve_forever", "serve_socket"]
+
+
+class DesignResolver:
+    """Turns protocol design references into :class:`Design` objects.
+
+    ``{"suite": S, "design": NAME}`` resolves through the workload
+    registry (suites are instantiated once and indexed by name);
+    ``{"spec": {...}}`` generates a synthetic design on the fly from
+    :class:`~repro.circuit.generator.DesignSpec` fields.
+    """
+
+    def __init__(self, config: PipelineConfig | None = None,
+                 default_suite: str = "superblue"):
+        self.config = config or PipelineConfig()
+        self.default_suite = default_suite
+        self._suites: dict[str, dict[str, Design]] = {}
+
+    def _suite_index(self, suite: str) -> dict[str, Design]:
+        if suite not in self._suites:
+            designs = load_workload(suite, self.config)
+            self._suites[suite] = {d.name: d for d in designs}
+        return self._suites[suite]
+
+    def resolve(self, payload: dict) -> Design:
+        """The design a predict payload refers to; ValueError when bad."""
+        spec = payload.get("spec")
+        if spec is not None:
+            try:
+                return generate_design(DesignSpec(**spec))
+            except TypeError as exc:
+                raise ValueError(f"bad design spec: {exc}") from exc
+        name = payload.get("design")
+        if not name:
+            raise ValueError("predict needs 'design' (+ optional 'suite') "
+                             "or an inline 'spec'")
+        suite = payload.get("suite", self.default_suite)
+        try:
+            index = self._suite_index(suite)
+        except KeyError as exc:
+            # str() of a KeyError is the repr of its argument; unwrap so
+            # the user-visible message carries no stray quotes.
+            raise ValueError(exc.args[0]) from exc
+        if name not in index:
+            raise ValueError(f"unknown design {name!r} in suite {suite!r}; "
+                             f"choose from {sorted(index)}")
+        return index[name]
+
+
+def _send(writer, payload: dict) -> None:
+    writer.write(json.dumps(payload) + "\n")
+    writer.flush()
+
+
+def serve_forever(engine: InferenceEngine, resolver: DesignResolver,
+                  reader, writer) -> bool:
+    """Run the line protocol until EOF or shutdown.
+
+    ``reader`` is any iterable of text lines, ``writer`` any object with
+    ``write``/``flush``.  Returns True when the loop ended on an explicit
+    ``shutdown`` op (the socket front end uses this to stop accepting).
+    """
+    for line in reader:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            _send(writer, {"ok": False, "error": f"invalid JSON: {exc}"})
+            continue
+        if not isinstance(payload, dict):
+            _send(writer, {"ok": False,
+                           "error": "request must be a JSON object"})
+            continue
+        op = payload.get("op", "predict")
+        request_id = payload.get("id")
+        if op == "predict":
+            try:
+                design = resolver.resolve(payload)
+                pending = engine.submit(PredictRequest(
+                    design=design,
+                    channel=payload.get("channel", "h"),
+                    request_id=request_id))
+            except ValueError as exc:
+                _send(writer, {"ok": False, "id": request_id,
+                               "error": str(exc)})
+                continue
+            _send(writer, {"ok": True, "id": request_id,
+                           "status": "queued", "pending": pending})
+        elif op == "flush":
+            results = engine.flush()
+            for result in results:
+                _send(writer, {"ok": True, "id": result.request_id,
+                               "result": result.to_json()})
+            _send(writer, {"ok": True, "status": "flushed",
+                           "count": len(results)})
+        elif op == "stats":
+            _send(writer, {"ok": True, "stats": engine.stats()})
+        elif op == "ping":
+            _send(writer, {"ok": True, "status": "pong"})
+        elif op == "shutdown":
+            _send(writer, {"ok": True, "status": "shutting down"})
+            return True
+        else:
+            _send(writer, {"ok": False, "id": request_id,
+                           "error": f"unknown op {op!r}"})
+    return False
+
+
+def serve_socket(engine: InferenceEngine, resolver: DesignResolver,
+                 port: int, host: str = "127.0.0.1",
+                 ready_callback=None) -> None:
+    """Serve the line protocol over TCP, one connection at a time.
+
+    Connections are handled sequentially — the engine is single-threaded
+    on purpose (batching happens *within* a connection's queue).  A
+    client sending ``shutdown`` stops the whole server; a disconnect
+    only ends its own session, and any requests it queued but never
+    flushed are discarded so they cannot leak into the next
+    connection's flush.  ``ready_callback(port)`` fires once the socket
+    is listening (port 0 picks a free port; tests use this).
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as server:
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((host, port))
+        server.listen(1)
+        bound_port = server.getsockname()[1]
+        if ready_callback is not None:
+            ready_callback(bound_port)
+        while True:
+            conn, _ = server.accept()
+            try:
+                with conn, conn.makefile("r", encoding="utf-8") as reader, \
+                        conn.makefile("w", encoding="utf-8") as writer:
+                    if serve_forever(engine, resolver, reader, writer):
+                        return
+            except (OSError, ValueError):
+                # Client vanished mid-session (reply hit a closed pipe);
+                # only their session dies — keep accepting.
+                pass
+            finally:
+                engine.discard_pending()

@@ -8,7 +8,7 @@ from .metrics import (ConfusionCounts, confusion, precision, recall,
 from .trainer import (train_lhnn, evaluate_lhnn, train_mlp, evaluate_mlp,
                       train_unet, evaluate_unet, train_pix2pix,
                       evaluate_pix2pix, train_gridsage, evaluate_gridsage,
-                      seeded_runs)
+                      predict_probs, seeded_runs)
 
 __all__ = [
     "TrainConfig", "TrainingHistory",
@@ -16,5 +16,5 @@ __all__ = [
     "accuracy", "evaluate_binary", "MetricSummary", "summarize_runs",
     "train_lhnn", "evaluate_lhnn", "train_mlp", "evaluate_mlp",
     "train_unet", "evaluate_unet", "train_pix2pix", "evaluate_pix2pix",
-    "train_gridsage", "evaluate_gridsage", "seeded_runs",
+    "train_gridsage", "evaluate_gridsage", "predict_probs", "seeded_runs",
 ]

@@ -29,6 +29,7 @@ from ..graph.sampling import sampled_operators
 from ..models.lhnn import LHNN, LHNNConfig
 from ..models.mlp_baseline import MLPBaseline
 from ..models.pix2pix import Pix2Pix
+from ..models.related import GridSAGE
 from ..models.unet import UNet
 from ..nn import no_grad
 from ..nn.losses import GammaWeightedBCE, GANLoss, JointLoss
@@ -42,8 +43,36 @@ __all__ = [
     "train_mlp", "evaluate_mlp",
     "train_unet", "evaluate_unet",
     "train_pix2pix", "evaluate_pix2pix",
-    "seeded_runs",
+    "predict_probs", "seeded_runs",
 ]
+
+
+def predict_probs(model, sample: GraphSample) -> np.ndarray:
+    """Congestion-probability forward pass for any model family.
+
+    Accepts a single or collated (block-diagonal batched)
+    :class:`GraphSample` and returns the flat per-G-cell probability
+    array ``(num_gcells, channels)`` in ``gx * ny + gy`` order — the
+    common currency of the evaluation loops and the
+    :mod:`repro.serve` engine.  Callers manage ``model.eval()`` and
+    ``no_grad`` themselves (the training loop reuses this under grad for
+    nothing — it is inference-only glue, not a loss path).
+    """
+    if isinstance(model, LHNN):
+        out = model(sample.graph, vc=Tensor(sample.features),
+                    vn=Tensor(sample.net_features))
+        return out.cls_prob.data
+    if isinstance(model, GridSAGE):
+        return model(sample.graph, vc=Tensor(sample.features)).data
+    if isinstance(model, MLPBaseline):
+        return model(Tensor(sample.features)).data
+    if isinstance(model, (UNet, Pix2Pix)):
+        forward = model.generator if isinstance(model, Pix2Pix) else model
+        prob = forward(Tensor(sample.image)).data
+        # NCHW (1, C, nx, ny) → flat per-G-cell rows (nx * ny, C).
+        return prob[0].transpose(1, 2, 0).reshape(-1, prob.shape[1])
+    raise TypeError(f"no probability forward known for "
+                    f"{type(model).__name__}")
 
 
 def _scaled_step(opt, config: TrainConfig, num_members: int) -> None:
@@ -184,9 +213,7 @@ def evaluate_lhnn(model: LHNN, samples: list[GraphSample],
         for group in _fixed_batches(len(samples), batch_size):
             members = [samples[i] for i in group]
             batch = collate_samples(members, cache)
-            out = model(batch.graph, vc=Tensor(batch.features),
-                        vn=Tensor(batch.net_features))
-            parts = unbatch_values(batch.graph, out.cls_prob.data)
+            parts = unbatch_values(batch.graph, predict_probs(model, batch))
             for sample, prob in zip(members, parts):
                 m = evaluate_binary(prob, sample.cls_target, threshold)
                 f1s.append(m["f1"])
@@ -384,7 +411,6 @@ def train_gridsage(train_samples: list[GraphSample], config: TrainConfig,
     Shares the block-diagonal mini-batch substrate with LHNN: the lattice
     adjacency of a batch is the block-diagonal of the per-design lattices.
     """
-    from ..models.related import GridSAGE
     rng = np.random.default_rng(config.seed)
     model = GridSAGE(in_features=train_samples[0].features.shape[1],
                      hidden=hidden, channels=channels, rng=rng)
@@ -419,8 +445,7 @@ def evaluate_gridsage(model, samples: list[GraphSample],
         for group in _fixed_batches(len(samples), batch_size):
             members = [samples[i] for i in group]
             batch = collate_samples(members)
-            prob = model(batch.graph, vc=Tensor(batch.features))
-            parts = unbatch_values(batch.graph, prob.data)
+            parts = unbatch_values(batch.graph, predict_probs(model, batch))
             for sample, part in zip(members, parts):
                 m = evaluate_binary(part, sample.cls_target, threshold)
                 f1s.append(m["f1"])

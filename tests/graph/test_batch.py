@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import BatchCache, batch_graphs, unbatch_values
+from repro.graph import BatchCache, batch_graphs, plan_batches, unbatch_values
 from repro.models.lhnn import LHNN, LHNNConfig
 from repro.nn import Tensor
 
@@ -140,3 +140,39 @@ class TestBatchCache:
         cache.get(list(pair))
         cache.clear()
         assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+class _Stub:
+    """Graph stand-in: plan_batches only reads ``ny``."""
+
+    def __init__(self, ny):
+        self.ny = ny
+
+
+class TestPlanBatches:
+    def test_uniform_ny_single_group(self):
+        assert plan_batches([_Stub(16)] * 3) == [[0, 1, 2]]
+
+    def test_groups_respect_max_batch(self):
+        groups = plan_batches([_Stub(16)] * 5, max_batch=2)
+        assert groups == [[0, 1], [2, 3], [4]]
+
+    def test_mixed_ny_split_into_compatible_groups(self):
+        graphs = [_Stub(16), _Stub(8), _Stub(16), _Stub(8), _Stub(32)]
+        groups = plan_batches(graphs)
+        assert groups == [[0, 2], [1, 3], [4]]
+        # Every index appears exactly once.
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(5))
+
+    def test_groups_are_batchable(self, tiny_graph_suite):
+        groups = plan_batches(tiny_graph_suite, max_batch=4)
+        for group in groups:
+            members = [tiny_graph_suite[i] for i in group]
+            batched = batch_graphs(members)
+            assert batched.num_gcells == sum(m.num_gcells for m in members)
+
+    def test_empty_and_validation(self):
+        assert plan_batches([]) == []
+        with pytest.raises(ValueError):
+            plan_batches([_Stub(16)], max_batch=0)

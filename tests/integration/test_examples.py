@@ -34,9 +34,17 @@ class TestExamples:
         assert "LH-graph" in result.stdout
         assert "forward pass OK" in result.stdout
 
+    def test_serving_runs(self):
+        result = run_example("serving.py")
+        assert result.returncode == 0, result.stderr
+        assert "no probing involved" in result.stdout
+        assert "stage calls {}" in result.stdout  # warm queue: zero work
+        assert "all cached: True" in result.stdout
+        assert "client round trip" in result.stdout
+
     @pytest.mark.parametrize("name", ["quickstart.py", "routability_flow.py",
                                       "model_zoo.py", "bookshelf_io.py",
-                                      "feature_recovery.py"])
+                                      "feature_recovery.py", "serving.py"])
     def test_examples_have_docstring_and_main(self, name):
         path = os.path.join(EXAMPLES, name)
         source = open(path).read()

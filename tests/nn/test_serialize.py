@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn import (CheckpointError, MLP, Tensor, load_checkpoint,
-                      save_checkpoint)
+                      read_checkpoint_header, save_checkpoint)
 
 
 @pytest.fixture
@@ -58,3 +58,82 @@ class TestCheckpointErrors:
         np.savez(path, a=np.zeros(3))
         with pytest.raises(CheckpointError):
             load_checkpoint(MLP([2, 2], rng), path)
+
+    def test_missing_file(self, rng, tmp_path):
+        with pytest.raises(CheckpointError, match="no such checkpoint"):
+            load_checkpoint(MLP([2, 2], rng), str(tmp_path / "absent.npz"))
+
+    def test_corrupted_bytes(self, rng, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"\x00definitely not a zip archive\xff" * 20)
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(MLP([2, 2], rng), str(path))
+
+    def test_truncated_npz(self, rng, tmp_path):
+        m = MLP([4, 8, 2], rng)
+        path = tmp_path / "trunc.npz"
+        save_checkpoint(m, str(path))
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(MLP([4, 8, 2], rng), str(path))
+        with pytest.raises(CheckpointError, match="unreadable"):
+            read_checkpoint_header(str(path))
+
+
+def _family_instances(rng):
+    """Small twin-constructible instances of all five model families."""
+    from repro.models.lhnn import LHNN, LHNNConfig
+    from repro.models.mlp_baseline import MLPBaseline
+    from repro.models.pix2pix import Pix2Pix
+    from repro.models.related import GridSAGE
+    from repro.models.unet import UNet
+    return {
+        "lhnn": lambda: LHNN(LHNNConfig(hidden=8, channels=2), rng),
+        "mlp": lambda: MLPBaseline(hidden=8, rng=rng),
+        "gridsage": lambda: GridSAGE(hidden=8, num_layers=2, rng=rng),
+        "unet": lambda: UNet(base_width=4, rng=rng),
+        "pix2pix": lambda: Pix2Pix(base_width=4, rng=rng),
+    }
+
+
+class TestAllFamiliesRoundTrip:
+    @pytest.mark.parametrize("family", ["lhnn", "mlp", "gridsage", "unet",
+                                        "pix2pix"])
+    def test_state_dict_round_trip(self, family, rng, tmp_path):
+        make = _family_instances(rng)[family]
+        m1 = make()
+        path = save_checkpoint(m1, str(tmp_path / f"{family}.npz"))
+        m2 = make()  # same shapes, fresh (different) weights
+        load_checkpoint(m2, path)
+        for name, value in m1.state_dict().items():
+            assert np.array_equal(value, m2.state_dict()[name]), name
+
+    @pytest.mark.parametrize("family", ["lhnn", "unet"])
+    def test_wrong_architecture_rejected(self, family, rng, tmp_path):
+        from repro.models.lhnn import LHNN, LHNNConfig
+        from repro.models.unet import UNet
+        m1 = _family_instances(rng)[family]()
+        path = save_checkpoint(m1, str(tmp_path / "a.npz"))
+        wrong = (LHNN(LHNNConfig(hidden=16, channels=2), rng)
+                 if family == "lhnn" else UNet(base_width=8, rng=rng))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(wrong, path)
+
+
+class TestHeaderReader:
+    def test_header_fields(self, rng, tmp_path):
+        m = MLP([4, 8, 2], rng)
+        path = save_checkpoint(m, str(tmp_path / "m.npz"),
+                               metadata={"f1": 41.5})
+        header = read_checkpoint_header(path)
+        assert header["format"] == "repro-checkpoint-v1"
+        assert header["num_parameters"] == m.num_parameters()
+        assert header["metadata"] == {"f1": 41.5}
+        assert sorted(header["parameter_names"]) == sorted(m.state_dict())
+
+    def test_header_appends_extension(self, rng, tmp_path):
+        m = MLP([2, 4, 1], rng)
+        save_checkpoint(m, str(tmp_path / "noext"))
+        assert read_checkpoint_header(str(tmp_path / "noext"))["format"] \
+            == "repro-checkpoint-v1"

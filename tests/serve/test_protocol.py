@@ -1,0 +1,182 @@
+"""Tests for the JSON-lines serving protocol, socket front end and clients."""
+
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.models.mlp_baseline import MLPBaseline
+from repro.pipeline import PipelineConfig
+from repro.serve import (DesignResolver, InferenceEngine, LocalClient,
+                         ServeClient, ServeConfig, ServeError,
+                         serve_forever, serve_socket)
+
+TINY_SPEC = {"name": "wire-a", "seed": 5, "num_movable": 90,
+             "die_size": 32.0}
+TINY_SPEC_B = {"name": "wire-b", "seed": 6, "num_movable": 90,
+               "die_size": 32.0}
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+@pytest.fixture
+def engine():
+    model = MLPBaseline(hidden=8, rng=np.random.default_rng(0))
+    return InferenceEngine(model, ServeConfig())
+
+
+@pytest.fixture
+def resolver():
+    return DesignResolver(PipelineConfig())
+
+
+def run_protocol(engine, resolver, payloads):
+    """Feed payload dicts (or raw strings) through one serving session."""
+    lines = [p if isinstance(p, str) else json.dumps(p) for p in payloads]
+    out = io.StringIO()
+    shutdown = serve_forever(engine, resolver,
+                             iter(line + "\n" for line in lines), out)
+    replies = [json.loads(line) for line in out.getvalue().splitlines()]
+    return replies, shutdown
+
+
+class TestLineProtocol:
+    def test_ping(self, engine, resolver):
+        replies, shutdown = run_protocol(engine, resolver, [{"op": "ping"}])
+        assert replies == [{"ok": True, "status": "pong"}]
+        assert not shutdown  # EOF, not shutdown
+
+    def test_queue_then_flush(self, engine, resolver):
+        replies, _ = run_protocol(engine, resolver, [
+            {"op": "predict", "id": 1, "spec": TINY_SPEC},
+            {"op": "predict", "id": 2, "spec": TINY_SPEC_B},
+            {"op": "flush"},
+        ])
+        acks, results, summary = replies[:2], replies[2:4], replies[4]
+        assert [a["status"] for a in acks] == ["queued", "queued"]
+        assert [a["pending"] for a in acks] == [1, 2]
+        assert [r["id"] for r in results] == [1, 2]
+        # Both requests shared one micro-batched forward pass.
+        assert [r["result"]["batch_members"] for r in results] == [2, 2]
+        grid = np.array(results[0]["result"]["grids"]["h"])
+        assert grid.shape == (32, 32)
+        assert summary == {"ok": True, "status": "flushed", "count": 2}
+
+    def test_flush_without_queue(self, engine, resolver):
+        replies, _ = run_protocol(engine, resolver, [{"op": "flush"}])
+        assert replies == [{"ok": True, "status": "flushed", "count": 0}]
+
+    def test_stats(self, engine, resolver):
+        replies, _ = run_protocol(engine, resolver, [{"op": "stats"}])
+        assert replies[0]["ok"]
+        assert replies[0]["stats"]["model_family"] == "mlp"
+
+    def test_unknown_design_is_per_request_error(self, engine, resolver):
+        replies, _ = run_protocol(engine, resolver, [
+            {"op": "predict", "id": 9, "design": "nope"},
+            {"op": "ping"},
+        ])
+        assert not replies[0]["ok"] and replies[0]["id"] == 9
+        assert "unknown design" in replies[0]["error"]
+        assert replies[1]["status"] == "pong"  # loop survived
+
+    def test_bad_spec_is_per_request_error(self, engine, resolver):
+        replies, _ = run_protocol(engine, resolver, [
+            {"op": "predict", "spec": {"bogus": 1}}])
+        assert not replies[0]["ok"]
+        assert "bad design spec" in replies[0]["error"]
+
+    def test_invalid_json_and_non_object(self, engine, resolver):
+        replies, _ = run_protocol(engine, resolver, ["not json", "[1, 2]"])
+        assert not replies[0]["ok"] and "invalid JSON" in replies[0]["error"]
+        assert not replies[1]["ok"] and "JSON object" in replies[1]["error"]
+
+    def test_unknown_op(self, engine, resolver):
+        replies, _ = run_protocol(engine, resolver, [{"op": "dance"}])
+        assert not replies[0]["ok"] and "unknown op" in replies[0]["error"]
+
+    def test_shutdown_ends_loop(self, engine, resolver):
+        replies, shutdown = run_protocol(engine, resolver, [
+            {"op": "shutdown"}, {"op": "ping"}])
+        assert shutdown
+        assert len(replies) == 1  # nothing after shutdown is processed
+
+
+class TestResolver:
+    def test_suite_design_resolution(self, resolver):
+        design = resolver.resolve({"design": "superblue5"})
+        assert design.name == "superblue5"
+        # Suites are instantiated once and indexed.
+        assert resolver.resolve({"design": "superblue5"}) is design
+
+    def test_missing_reference(self, resolver):
+        with pytest.raises(ValueError, match="needs 'design'"):
+            resolver.resolve({})
+
+    def test_unknown_suite(self, resolver):
+        with pytest.raises(ValueError, match="unknown workload"):
+            resolver.resolve({"suite": "nope", "design": "x"})
+
+
+class TestSocketRoundTrip:
+    def test_client_server_session(self, engine, resolver):
+        ready = threading.Event()
+        bound = {}
+
+        def on_ready(port):
+            bound["port"] = port
+            ready.set()
+
+        thread = threading.Thread(
+            target=serve_socket, args=(engine, resolver, 0),
+            kwargs={"ready_callback": on_ready}, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        with ServeClient.connect(port=bound["port"]) as client:
+            assert client.ping()
+            ack = client.predict(spec=TINY_SPEC)
+            assert ack["status"] == "queued"
+            results = client.flush()
+            assert len(results) == 1
+            assert results[0]["result"]["name"] == "wire-a"
+            assert client.stats()["requests"] == 1
+            with pytest.raises(ServeError, match="unknown design"):
+                client.predict(design="nope")
+            # Queue a request and disconnect without flushing: it must
+            # not leak into the next connection's flush.
+            client.predict(spec=TINY_SPEC_B)
+            client.close()
+        # A client that fires requests and vanishes without reading its
+        # replies must not take the server down.
+        import socket as socketlib
+        rude = socketlib.create_connection(("127.0.0.1", bound["port"]),
+                                           timeout=10)
+        rude.sendall((json.dumps({"op": "predict", "spec": TINY_SPEC})
+                      + "\n" + json.dumps({"op": "flush"}) + "\n").encode())
+        rude.close()
+        with ServeClient.connect(port=bound["port"]) as client:
+            assert client.ping()
+            assert client.flush() == []
+            client.shutdown()
+        thread.join(10)
+        assert not thread.is_alive()
+
+
+class TestLocalClient:
+    def test_same_surface_as_wire_client(self, engine, resolver):
+        client = LocalClient(engine, resolver)
+        assert client.ping()
+        ack = client.predict(spec=TINY_SPEC)
+        assert ack["status"] == "queued" and ack["pending"] == 1
+        results = client.flush()
+        assert results[0]["result"]["name"] == "wire-a"
+        assert results[0]["result"]["cached"] is False
+        # Warm repeat comes from the sample cache.
+        client.predict(spec=TINY_SPEC)
+        assert client.flush()[0]["result"]["cached"] is True
+        assert client.stats()["requests"] == 2

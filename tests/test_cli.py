@@ -120,3 +120,79 @@ class TestModelRestore:
             restored, meta = cli._restore_model(path)
             assert restored.config.channels == channels
             assert meta["channels"] == channels
+
+    def test_restore_registry_checkpoint(self, tmp_path):
+        from repro.models.related import GridSAGE
+        from repro.serve.registry import save_model
+        model = GridSAGE(hidden=8, channels=2, rng=np.random.default_rng(1))
+        path = save_model(model, str(tmp_path / "gs.npz"))
+        restored, meta = cli._restore_model(path)
+        assert isinstance(restored, GridSAGE)
+        assert restored.channels == 2
+        assert meta["model"]["family"] == "gridsage"
+
+
+class TestPredictParser:
+    def test_channel_default_and_choices(self):
+        args = cli._build_parser().parse_args(
+            ["predict", "--checkpoint", "c", "--design", "d"])
+        assert args.channel == "h"
+        assert args.suite == "superblue"
+        args = cli._build_parser().parse_args(
+            ["predict", "--checkpoint", "c", "--design", "d",
+             "--channel", "both"])
+        assert args.channel == "both"
+
+    def test_rejects_unknown_channel(self):
+        with pytest.raises(SystemExit):
+            cli._build_parser().parse_args(
+                ["predict", "--checkpoint", "c", "--design", "d",
+                 "--channel", "x"])
+
+    def test_predict_missing_checkpoint_fails_cleanly(self, capsys):
+        assert cli.main(["predict", "--checkpoint", "/nope/absent.npz",
+                         "--design", "superblue5"]) == 2
+        assert "predict failed" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = cli._build_parser().parse_args(
+            ["serve", "--checkpoint", "c"])
+        assert args.port is None
+        assert args.max_batch == 8
+        assert args.suite == "superblue"
+
+    def test_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            cli._build_parser().parse_args(["serve"])
+
+    def test_missing_checkpoint_fails_cleanly(self, capsys):
+        assert cli.main(["serve", "--checkpoint", "/nope/absent.npz"]) == 2
+        assert "serve failed" in capsys.readouterr().err
+
+    def test_stdin_session_end_to_end(self, capsys, monkeypatch, tmp_path):
+        import io
+        import json
+        from repro.models.mlp_baseline import MLPBaseline
+        from repro.serve.registry import save_model
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = save_model(MLPBaseline(hidden=8,
+                                      rng=np.random.default_rng(0)),
+                          str(tmp_path / "mlp.npz"))
+        requests = [
+            {"op": "predict", "id": 1,
+             "spec": {"name": "cli-serve", "seed": 8, "num_movable": 90,
+                      "die_size": 32.0}},
+            {"op": "flush"},
+            {"op": "shutdown"},
+        ]
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("".join(json.dumps(r) + "\n" for r in requests)))
+        assert cli.main(["serve", "--checkpoint", path]) == 0
+        replies = [json.loads(line)
+                   for line in capsys.readouterr().out.splitlines()]
+        assert [r.get("status") for r in replies] == \
+            ["queued", None, "flushed", "shutting down"]
+        assert replies[1]["result"]["name"] == "cli-serve"
