@@ -11,19 +11,34 @@ The ``train_step`` pair compares the per-design training loop against the
 block-diagonal batched step over the same designs (the training substrate
 of :mod:`repro.train.trainer`): batching must stay measurably faster, and
 ``test_bench_neighbor_sampling`` tracks the vectorised CSR sampler.
+
+The ``dtype`` benches measure the numerical engine's float32 compute
+policy against the float64 baseline on identical work — train epoch,
+conv forward/backward, spmm, serve flush — and write the machine-readable
+``BENCH_nn.json`` trajectory (see :mod:`repro.perf.report` and
+``benchmarks/README.md``).  The train-epoch speedup is a hard gate:
+float32 must be ≥ 1.5× float64 with eval F1 within noise.
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
 
+from repro import perf
 from repro.circuit import DesignSpec, generate_design
+from repro.data.dataset import collate_samples, sample_of
 from repro.graph import BatchCache, build_lhgraph, sampled_operators
 from repro.models.lhnn import LHNN, LHNNConfig
-from repro.nn import Tensor, no_grad
+from repro.nn import DtypeConfig, SparseMatrix, Tensor, no_grad, spmm
+from repro.nn.conv import Conv2d
 from repro.nn.losses import JointLoss
 from repro.nn.optim import Adam
+from repro.perf.report import speedup_entry, write_bench_report
 from repro.placement import PlacementConfig, place
 from repro.routing import GlobalRouter, RouterConfig, extract_maps
+from repro.train.metrics import evaluate_binary
 
 
 @pytest.fixture(scope="module")
@@ -242,3 +257,209 @@ def test_bench_prepare_warm(prepare_bench_setup, benchmark, tmp_path):
     graphs = benchmark(lambda: _prepare_all(designs, config, root, 1))
     assert len(graphs) == len(designs)
     assert STAGE_CALLS["place"] == 0 and STAGE_CALLS["route"] == 0
+
+
+# ---------------------------------------------------------------------------
+# float32 compute policy vs float64 baseline (writes BENCH_nn.json)
+# ---------------------------------------------------------------------------
+BENCH_NN_PATH = os.path.join(os.path.dirname(__file__), "..",
+                             "BENCH_nn.json")
+
+#: Entries accumulated by the dtype benches below; flushed to
+#: ``BENCH_nn.json`` once the module finishes (partial runs via ``-k``
+#: still record what they measured).
+_BENCH_ENTRIES: dict[str, dict] = {}
+_BENCH_PERF_OPS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_nn_report():
+    yield
+    if _BENCH_ENTRIES:
+        write_bench_report(
+            BENCH_NN_PATH, _BENCH_ENTRIES,
+            perf_ops=_BENCH_PERF_OPS or None,
+            context={"source": "benchmarks/test_substrate_performance.py",
+                     "suite": "6x superblue @ scale 0.25, 16x16 G-cells"})
+
+
+def _best_of(fn, rounds: int = 5) -> float:
+    """Minimum wall time of ``fn()`` over ``rounds`` (after one warmup)."""
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def congested_graph_suite():
+    """Like ``bench_graph_suite`` but routed at half the track capacity,
+    so the congestion labels are non-trivial and the dtype gate's F1
+    parity check compares real positives instead of two empty maps."""
+    graphs = []
+    for seed in range(6):
+        design = generate_design(DesignSpec(name=f"congested{seed}",
+                                            seed=100 + seed,
+                                            num_movable=200, die_size=32.0))
+        place(design, PlacementConfig())
+        routed = GlobalRouter(design, RouterConfig(nx=16, ny=16,
+                                                   capacity_h=5.0,
+                                                   capacity_v=5.0,
+                                                   rrr_iterations=3)).run()
+        graphs.append(build_lhgraph(design, routed.grid,
+                                    extract_maps(routed.grid)))
+    assert any(g.congestion_rate(0) > 0 for g in graphs)
+    return graphs
+
+
+def _lhnn_training_run(graphs, dtype, steps_per_epoch: int = 6):
+    """Batched-LHNN epoch closure + trained-model F1 at one dtype.
+
+    Mirrors the real training substrate: one block-diagonal supergraph
+    step over the whole suite, Adam, joint loss, inputs materialised by
+    ``sample_of`` in the compute dtype.
+    """
+    with DtypeConfig(dtype):
+        samples = [sample_of(g) for g in graphs]
+        batch = collate_samples(samples)
+        model = LHNN(LHNNConfig(), np.random.default_rng(0))
+        # Linear LR scaling by batch membership, as in the real batched
+        # training loop — the timed epochs also train the model enough
+        # for a meaningful F1 parity check afterwards.
+        opt = Adam(model.parameters(), lr=2e-3 * len(graphs))
+        loss_fn = JointLoss()
+        vc, vn = Tensor(batch.features), Tensor(batch.net_features)
+
+        def step():
+            opt.zero_grad()
+            out = model(batch.graph, vc=vc, vn=vn)
+            loss = loss_fn(out.cls_prob, out.reg_pred,
+                           batch.cls_target, batch.reg_target)
+            loss.backward()
+            opt.step()
+            return loss
+
+        def epoch():
+            for _ in range(steps_per_epoch):
+                step()
+
+        seconds = _best_of(epoch, rounds=5)
+
+        # Op-level breakdown of one epoch (captured outside the timing).
+        if dtype is np.float32:
+            perf.enable()
+            epoch()
+            _BENCH_PERF_OPS.clear()
+            _BENCH_PERF_OPS.update(perf.perf_report())
+            perf.disable()
+
+        # Train past the steep part of the learning curve before the
+        # parity evaluation: mid-curve F1 is dominated by trajectory
+        # noise, not dtype error.
+        for _ in range(10):
+            epoch()
+        model.eval()
+        with no_grad():
+            out = model(batch.graph, vc=vc, vn=vn)
+        f1 = evaluate_binary(out.cls_prob.data, batch.cls_target)["f1"]
+    return seconds, f1
+
+
+def test_bench_train_epoch_float32_speedup(congested_graph_suite):
+    """Acceptance gate: float32 train epoch ≥ 1.5× the float64 baseline,
+    with eval F1 within noise.  The measured numbers become the
+    ``train_epoch`` entry of ``BENCH_nn.json``."""
+    t64, f1_64 = _lhnn_training_run(congested_graph_suite, np.float64)
+    t32, f1_32 = _lhnn_training_run(congested_graph_suite, np.float32)
+    _BENCH_ENTRIES["train_epoch"] = speedup_entry(
+        t32, t64, f1_float32=f1_32, f1_float64=f1_64,
+        f1_delta=abs(f1_32 - f1_64))
+    assert abs(f1_32 - f1_64) <= 5.0, (f1_32, f1_64)
+    assert t64 / t32 >= 1.5, (f"float32 epoch {t32:.4f}s vs float64 "
+                              f"{t64:.4f}s — only {t64 / t32:.2f}x")
+
+
+def test_bench_conv2d_dtype(bench_graph_suite):
+    """Conv2d forward/backward at both dtypes (U-Net / Pix2Pix hot path).
+
+    The cached im2col/col2im plans and the bincount scatter apply to
+    both precisions; the entries track the remaining dtype gap."""
+    timings = {}
+    for dtype in (np.float64, np.float32):
+        with DtypeConfig(dtype):
+            rng = np.random.default_rng(0)
+            conv = Conv2d(8, 16, 3, rng, padding=1)
+            x = Tensor(rng.standard_normal((1, 8, 64, 64))
+                       .astype(dtype), requires_grad=True)
+
+            def forward():
+                return conv(x)
+
+            out = forward()
+            seed = np.ones_like(out.data)
+
+            def forward_backward():
+                x.grad = None
+                conv.zero_grad()
+                forward().backward(seed)
+
+            timings[dtype] = (_best_of(forward, rounds=5),
+                              _best_of(forward_backward, rounds=5))
+    fwd64, fb64 = timings[np.float64]
+    fwd32, fb32 = timings[np.float32]
+    _BENCH_ENTRIES["conv2d_forward"] = speedup_entry(fwd32, fwd64)
+    _BENCH_ENTRIES["conv2d_backward"] = speedup_entry(
+        max(fb32 - fwd32, 1e-9), max(fb64 - fwd64, 1e-9))
+    assert fwd32 <= fwd64 * 1.25  # float32 must not regress
+
+
+def test_bench_spmm_dtype(bench_graph_suite):
+    """The message-passing kernel at both dtypes on the real batched
+    operators (block-diagonal lattice + incidence of the bench suite)."""
+    from repro.graph.batch import batch_graphs
+    batched = batch_graphs(list(bench_graph_suite))
+    ops = [batched.op_cc_mean, batched.op_nc_scaled_sum.T,
+           batched.op_cn_mean]
+    timings = {}
+    for dtype in (np.float64, np.float32):
+        x = Tensor(np.random.default_rng(0)
+                   .standard_normal((batched.num_gcells, 32)).astype(dtype))
+        xn = Tensor(np.random.default_rng(1)
+                    .standard_normal((batched.num_gnets, 32)).astype(dtype))
+
+        def sweep():
+            spmm(ops[0], x)
+            spmm(ops[1], x)
+            spmm(ops[2], x)
+            spmm(ops[1].T, xn)
+
+        timings[dtype] = _best_of(sweep, rounds=10)
+    _BENCH_ENTRIES["spmm"] = speedup_entry(timings[np.float32],
+                                           timings[np.float64])
+    assert timings[np.float32] <= timings[np.float64] * 1.25
+
+
+def test_bench_serve_flush_dtype(bench_graph_suite):
+    """Warm serving flush latency at both dtypes: queued prepared graphs
+    answered in micro-batched no-grad forward passes."""
+    from repro.serve import InferenceEngine, PredictRequest, ServeConfig
+    timings = {}
+    for dtype in (np.float64, np.float32):
+        with DtypeConfig(dtype):
+            model = LHNN(LHNNConfig(), np.random.default_rng(0))
+            engine = InferenceEngine(model, ServeConfig(max_batch=8))
+
+            def flush_all():
+                for g in bench_graph_suite:
+                    engine.submit(PredictRequest(graph=g))
+                return engine.flush()
+
+            results = flush_all()
+            assert len(results) == len(bench_graph_suite)
+            timings[dtype] = _best_of(flush_all, rounds=5)
+    _BENCH_ENTRIES["serve_flush"] = speedup_entry(timings[np.float32],
+                                                  timings[np.float64])
+    assert timings[np.float32] <= timings[np.float64] * 1.25

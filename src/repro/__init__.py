@@ -13,7 +13,9 @@ experimental stack:
 * :mod:`repro.models` — LHNN, MLP, U-Net and Pix2Pix,
 * :mod:`repro.data` / :mod:`repro.train` — dataset, splits, training,
 * :mod:`repro.pipeline` — netlist → placement → routing → LH-graph,
-* :mod:`repro.eval` — paper tables and Figure-4 visualisation.
+* :mod:`repro.eval` — paper tables and Figure-4 visualisation,
+* :mod:`repro.perf` — op-level perf instrumentation and the
+  ``BENCH_nn.json`` benchmark reporter.
 
 Quickstart::
 
@@ -29,13 +31,13 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import circuit, data, eval, features, graph, models, nn, placement
-from . import routing, train
+from . import circuit, data, eval, features, graph, models, nn, perf
+from . import placement, routing, train
 from .pipeline import PipelineConfig, prepare_design, prepare_suite
 
 __all__ = [
     "circuit", "data", "eval", "features", "graph", "models", "nn",
-    "placement", "routing", "train",
+    "perf", "placement", "routing", "train",
     "PipelineConfig", "prepare_design", "prepare_suite",
     "__version__",
 ]

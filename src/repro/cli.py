@@ -6,12 +6,12 @@ Usage (after ``pip install -e .``)::
                                   [--bookshelf-dir DIR] [--list-suites]
     python -m repro.cli stats                             # Table-1 style stats
     python -m repro.cli train     [--epochs 20] [--duo] [--batch-size 4]
-                                  [--out ckpt.npz]
+                                  [--dtype float32|float64] [--out ckpt.npz]
     python -m repro.cli evaluate  --checkpoint ckpt.npz   # held-out metrics
     python -m repro.cli predict   --checkpoint ckpt.npz --design superblue5
                                   [--channel h|v|both] [--suite NAME]
     python -m repro.cli serve     --checkpoint ckpt.npz [--port N]
-                                  [--max-batch 8]       # JSON-lines loop
+                                  [--max-batch 8] [--dtype float32|float64]
     python -m repro.cli info                              # package versions
 
 Every subcommand works off the cached pipeline products, so the first
@@ -69,6 +69,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    dest="batch_size",
                    help="designs composed into one block-diagonal "
                         "supergraph per optimizer step (1 = per-design)")
+    p.add_argument("--dtype", choices=("float32", "float64"),
+                   default="float32",
+                   help="compute dtype of the numerical engine; float32 "
+                        "is ~2x faster on CPU with held-out metrics "
+                        "within noise (dtype is recorded in the "
+                        "checkpoint and honoured at restore)")
     p.add_argument("--out", default="artifacts/lhnn.npz")
 
     p = sub.add_parser("evaluate", help="evaluate a checkpoint on the "
@@ -101,6 +107,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    dest="max_batch",
                    help="max designs composed into one block-diagonal "
                         "forward pass per flush")
+    p.add_argument("--dtype", choices=("float32", "float64"), default=None,
+                   help="serve at this compute dtype regardless of how "
+                        "the checkpoint was trained (default: the "
+                        "checkpoint's recorded dtype)")
 
     sub.add_parser("info", help="print version and dependency info")
     return parser
@@ -176,8 +186,12 @@ def cmd_stats(args) -> int:
 
 def cmd_train(args) -> int:
     from repro.models.lhnn import LHNNConfig
+    from repro.nn import set_default_dtype
     from repro.serve.registry import save_model
     from repro.train import TrainConfig, evaluate_lhnn, train_lhnn
+    # Set the compute dtype before any parameter or sample exists, so
+    # the whole run — init, forward, backward, optimizer — is uniform.
+    set_default_dtype(args.dtype)
     channels = 2 if args.duo else 1
     dataset = _load_dataset(channels=channels)
     model = train_lhnn(dataset.train_samples(),
@@ -193,6 +207,7 @@ def cmd_train(args) -> int:
     path = save_model(model, args.out, metadata={
         "channels": channels, "epochs": args.epochs, "seed": args.seed,
         "gamma": args.gamma, "batch_size": args.batch_size,
+        "dtype": args.dtype,
         "f1": metrics["f1"], "acc": metrics["acc"],
     })
     print(f"checkpoint written to {path}")
@@ -207,8 +222,13 @@ def _restore_model(checkpoint: str):
 
 def cmd_evaluate(args) -> int:
     from repro.eval.reporting import per_design_report, predicted_rate_table
-    from repro.serve.registry import output_channels, restore_model
+    from repro.nn import set_default_dtype
+    from repro.serve.registry import (model_dtype, output_channels,
+                                      restore_model)
     model, meta = restore_model(args.checkpoint)
+    # Evaluate in the checkpoint's compute dtype: dataset samples must
+    # match the parameters or numpy silently upcasts every forward pass.
+    set_default_dtype(model_dtype(model))
     dataset = _load_dataset(channels=output_channels(model))
     rows = per_design_report(model, dataset.test_samples())
     print(predicted_rate_table(rows, title="Held-out per-design results"))
@@ -265,7 +285,7 @@ def cmd_serve(args) -> int:
     from repro.serve import (DesignResolver, InferenceEngine, ServeConfig,
                              restore_model, serve_forever, serve_socket)
     try:
-        model, _ = restore_model(args.checkpoint)
+        model, _ = restore_model(args.checkpoint, dtype=args.dtype)
     except CheckpointError as exc:
         print(f"serve failed: {exc}", file=sys.stderr)
         return 2

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..graph.batch import BatchCache, batch_graphs
 from ..graph.lhgraph import LHGraph
+from ..nn.tensor import get_default_dtype
 from .splits import SplitResult, select_balanced_split
 
 __all__ = ["CongestionDataset", "GraphSample", "collate_samples",
@@ -68,7 +69,8 @@ def _as_image(values: np.ndarray | None, nx: int, ny: int):
 
 
 def sample_of(graph: LHGraph, channels: int = 1,
-              zero_gcell_features: bool = False) -> GraphSample:
+              zero_gcell_features: bool = False,
+              dtype=None) -> GraphSample:
     """Materialise every model-family view of one prepared LH-graph.
 
     Features are standardised per design *after* the optional
@@ -76,18 +78,26 @@ def sample_of(graph: LHGraph, channels: int = 1,
     views are ``None`` for unlabelled graphs (e.g. a serving request
     whose pipeline skipped label extraction); the training dataset
     rejects those up front, the serving engine simply omits truth maps.
+
+    Every array view is cast to ``dtype`` (default: the engine's default
+    compute dtype) — this is where the pipeline's float64 graph products
+    enter the numerical engine, so it is the single place the float32
+    compute policy takes effect for model inputs and targets.
+    Standardisation itself runs in float64 first, so a float32 sample is
+    the rounded image of its float64 twin.
     """
+    dtype = np.dtype(dtype) if dtype is not None else get_default_dtype()
     features = graph.vc.copy()
     if zero_gcell_features:
         # Keep only the terminal mask (channel 3); zero densities.
         features[:, 0:3] = 0.0
-    features = standardize(features)
-    net_features = standardize(graph.vn)
+    features = standardize(features).astype(dtype, copy=False)
+    net_features = standardize(graph.vn).astype(dtype, copy=False)
     cls_target = reg_target = None
     if graph.congestion is not None:
-        cls_target = graph.congestion[:, :channels]
+        cls_target = graph.congestion[:, :channels].astype(dtype, copy=False)
     if graph.demand is not None:
-        reg_target = graph.demand[:, :channels]
+        reg_target = graph.demand[:, :channels].astype(dtype, copy=False)
     nx, ny = graph.nx, graph.ny
     return GraphSample(
         name=graph.name, graph=graph,

@@ -171,7 +171,7 @@ def build_lhgraph(design: Design, grid: RoutingGrid,
     incidence = build_hypergraph_incidence(gnets, nx, ny)
 
     op_nc_sum = incidence
-    op_cn_mean = row_normalize(SparseMatrix(incidence.T))
+    op_cn_mean = row_normalize(incidence.T)  # .T is a SparseMatrix, cached
     op_nc_mean = row_normalize(incidence)
     op_cc_mean = row_normalize(adjacency)
     degrees = incidence.row_sums()

@@ -7,7 +7,8 @@ functions.  Every model in :mod:`repro.models` (LHNN, MLP, U-Net, Pix2Pix)
 is built exclusively from these pieces.
 """
 
-from .tensor import Tensor, as_tensor, no_grad, is_grad_enabled
+from .tensor import (Tensor, as_tensor, no_grad, is_grad_enabled,
+                     set_default_dtype, get_default_dtype, DtypeConfig)
 from . import functional
 from .layers import (Parameter, Module, Linear, Identity, Activation,
                      Sequential, MLP, ResidualMLP, LayerNorm, Dropout)
@@ -23,6 +24,7 @@ from .serialize import (save_checkpoint, load_checkpoint,
 
 __all__ = [
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled", "functional",
+    "set_default_dtype", "get_default_dtype", "DtypeConfig",
     "Parameter", "Module", "Linear", "Identity", "Activation", "Sequential",
     "MLP", "ResidualMLP", "LayerNorm", "Dropout",
     "Conv2d", "ConvTranspose2d", "MaxPool2d", "AvgPool2d", "BatchNorm2d",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, get_default_dtype
 
 __all__ = [
     "relu", "leaky_relu", "sigmoid", "tanh", "exp", "log", "sqrt",
@@ -125,6 +125,6 @@ def binary_cross_entropy(prob: Tensor, target, eps: float = 1e-7) -> Tensor:
 def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
     """Non-differentiable one-hot encoding helper."""
     indices = np.asarray(indices, dtype=np.int64)
-    out = np.zeros((indices.size, num_classes))
+    out = np.zeros((indices.size, num_classes), dtype=get_default_dtype())
     out[np.arange(indices.size), indices.reshape(-1)] = 1.0
     return out.reshape(indices.shape + (num_classes,))

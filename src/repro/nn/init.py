@@ -3,6 +3,11 @@
 Deterministic, generator-based variants of the classic Glorot/He schemes so
 that every experiment in the reproduction is exactly repeatable from a seed
 (the paper reports mean ± std over 5 random seeds; we do the same).
+
+All initialisers emit arrays in the engine's default compute dtype
+(:func:`repro.nn.tensor.get_default_dtype`): the draw itself happens in
+float64 for seed-stable streams, then is cast once, so a float32 model
+and its float64 twin share identical (up to rounding) initial weights.
 """
 
 from __future__ import annotations
@@ -11,8 +16,15 @@ import math
 
 import numpy as np
 
+from .tensor import get_default_dtype
+
 __all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform",
-           "kaiming_normal", "zeros", "normal"]
+           "kaiming_normal", "zeros", "ones", "normal"]
+
+
+def _cast(values: np.ndarray) -> np.ndarray:
+    """Cast a freshly drawn float64 array to the default compute dtype."""
+    return values.astype(get_default_dtype(), copy=False)
 
 
 def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
@@ -34,14 +46,14 @@ def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.nda
     """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan(tuple(shape))
     a = gain * math.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-a, a, size=shape)
+    return _cast(rng.uniform(-a, a, size=shape))
 
 
 def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan(tuple(shape))
     std = gain * math.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape))
 
 
 def kaiming_uniform(shape, rng: np.random.Generator, a: float = math.sqrt(5)) -> np.ndarray:
@@ -49,20 +61,25 @@ def kaiming_uniform(shape, rng: np.random.Generator, a: float = math.sqrt(5)) ->
     fan_in, _ = _fan(tuple(shape))
     gain = math.sqrt(2.0 / (1.0 + a * a))
     bound = gain * math.sqrt(3.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape))
 
 
 def kaiming_normal(shape, rng: np.random.Generator) -> np.ndarray:
     """He normal: N(0, 2 / fan_in), suited to ReLU stacks."""
     fan_in, _ = _fan(tuple(shape))
-    return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+    return _cast(rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape))
 
 
 def zeros(shape) -> np.ndarray:
     """All-zero initialiser (biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
+
+
+def ones(shape) -> np.ndarray:
+    """All-one initialiser (normalisation gains)."""
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 def normal(shape, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
     """N(0, std^2) initialiser (DCGAN/Pix2Pix convention)."""
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape))

@@ -97,6 +97,40 @@ class Module:
         """Total number of scalar trainable parameters."""
         return sum(p.size for p in self.parameters())
 
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter and floating buffer to ``dtype`` in place.
+
+        Covers :class:`Parameter` attributes (including those held in
+        lists/tuples) and plain floating ndarray attributes such as
+        batch-norm running statistics.  Used by checkpoint restore to
+        honour the dtype a model was trained in, and by ``--dtype``
+        overrides at serve time.
+        """
+        dtype = np.dtype(dtype)
+        for module in self.modules():
+            for name, value in vars(module).items():
+                if isinstance(value, Parameter):
+                    value.data = value.data.astype(dtype, copy=False)
+                elif isinstance(value, np.ndarray) and value.dtype.kind == "f":
+                    setattr(module, name, value.astype(dtype, copy=False))
+                elif isinstance(value, (list, tuple)):
+                    for item in value:
+                        if isinstance(item, Parameter):
+                            item.data = item.data.astype(dtype, copy=False)
+        return self
+
+    def dtype(self) -> np.dtype:
+        """The compute dtype of this module's parameters.
+
+        Defined as the dtype of the first parameter; modules are always
+        homogeneous after construction/:meth:`to_dtype`.  Parameter-free
+        modules report the process default.
+        """
+        for _, p in self.named_parameters():
+            return p.data.dtype
+        from .tensor import get_default_dtype
+        return get_default_dtype()
+
     # -- checkpointing ----------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
         """Copy every parameter array keyed by dotted name."""
@@ -197,8 +231,8 @@ class LayerNorm(Module):
 
     def __init__(self, dim: int, eps: float = 1e-5):
         super().__init__()
-        self.gamma = Parameter(np.ones(dim))
-        self.beta = Parameter(np.zeros(dim))
+        self.gamma = Parameter(init_mod.ones(dim))
+        self.beta = Parameter(init_mod.zeros(dim))
         self.eps = eps
 
     def forward(self, x: Tensor) -> Tensor:

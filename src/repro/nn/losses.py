@@ -9,6 +9,13 @@ The LHNN loss (paper §4.4) is ``L = L_reg + L_cls`` where
 * ``L_cls`` is a γ-weighted binary cross-entropy (Eq. 5): each
   non-congested G-cell's contribution is scaled by ``γ ∈ (0, 1]`` to fight
   the heavy label imbalance (17.38 % positives in the paper's split).
+
+Dtype policy: losses compute elementwise in the operands' dtype (float32
+stays float32 so the backward pass stays fast), while *accumulation
+across steps* — epoch totals, metric averages — happens in python
+floats / float64 at the trainer level, per the engine's "float32
+compute, float64 accumulators" rule.  Numpy's pairwise summation keeps
+the in-loss float32 reductions accurate at the array sizes involved.
 """
 
 from __future__ import annotations

@@ -15,18 +15,81 @@ Design notes
   axes is handled by :func:`unbroadcast`.
 * The graph is dynamic (define-by-run) and freed after ``backward`` unless
   ``retain_graph=True``.
+* **Dtype policy**: floating payloads keep their dtype — a float32 array
+  stays float32 through every op — and non-float inputs (ints, bools,
+  python lists/scalars) are coerced to the process-wide *default compute
+  dtype* (:func:`set_default_dtype` / :class:`DtypeConfig`, float64 out
+  of the box).  Historically ``as_tensor``/``Tensor`` silently upcast
+  everything to float64, which made float32 training impossible: a
+  single coerced operand poisoned the whole graph.
 """
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "as_tensor"]
+from ..perf import PERF
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "as_tensor",
+           "set_default_dtype", "get_default_dtype", "DtypeConfig"]
 
 
 _GRAD_ENABLED = True
+
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+#: dtypes the engine computes in; float16 accumulates too much error for
+#: the paper's metrics and complex types make no sense for congestion maps.
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the process-wide default compute dtype (float32 or float64).
+
+    The default governs what non-float payloads (python lists, ints,
+    bools) are coerced to and what :mod:`repro.nn.init` initialisers
+    emit; floating arrays always keep their own dtype.  Train/serve
+    entry points set this once from ``--dtype`` before any parameter is
+    created.
+    """
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in _SUPPORTED_DTYPES:
+        raise ValueError(f"unsupported compute dtype {dtype}; "
+                         f"choose float32 or float64")
+    _DEFAULT_DTYPE = dtype
+
+
+def get_default_dtype() -> np.dtype:
+    """The current default compute dtype (see :func:`set_default_dtype`)."""
+    return _DEFAULT_DTYPE
+
+
+class DtypeConfig:
+    """Context manager scoping the default compute dtype.
+
+    ``with DtypeConfig(np.float32): ...`` builds models, datasets and
+    losses in float32 and restores the previous default on exit —
+    the parity tests and dtype benches run both precisions side by side
+    this way.
+    """
+
+    def __init__(self, dtype):
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in _SUPPORTED_DTYPES:
+            raise ValueError(f"unsupported compute dtype {self.dtype}; "
+                             f"choose float32 or float64")
+
+    def __enter__(self) -> "DtypeConfig":
+        self._prev = get_default_dtype()
+        set_default_dtype(self.dtype)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_default_dtype(self._prev)
 
 
 class no_grad:
@@ -73,11 +136,16 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def as_tensor(value, dtype=np.float64) -> "Tensor":
-    """Coerce ``value`` (Tensor, ndarray, scalar, nested list) to a Tensor."""
+def as_tensor(value, dtype=None) -> "Tensor":
+    """Coerce ``value`` (Tensor, ndarray, scalar, nested list) to a Tensor.
+
+    Floating payloads keep their dtype; non-float payloads are coerced
+    to ``dtype`` (default: the process default compute dtype).  Tensors
+    pass through untouched.
+    """
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=dtype))
+    return Tensor(value, dtype=dtype)
 
 
 class Tensor:
@@ -86,7 +154,9 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64`` ndarray by default.
+        Array-like payload.  Floating arrays keep their dtype (a float32
+        array is *not* upcast); everything else is converted to the
+        default compute dtype, or to ``dtype`` when given explicitly.
     requires_grad:
         If True, gradients w.r.t. this tensor are accumulated in ``grad``
         during :meth:`backward`.
@@ -94,8 +164,13 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
 
-    def __init__(self, data, requires_grad: bool = False, dtype=np.float64):
-        self.data = np.asarray(data, dtype=dtype)
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        if dtype is not None:
+            self.data = np.asarray(data, dtype=dtype)
+        else:
+            arr = np.asarray(data)
+            self.data = (arr if arr.dtype.kind == "f"
+                         else arr.astype(_DEFAULT_DTYPE))
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
@@ -181,6 +256,14 @@ class Tensor:
                  retain_graph: bool = False) -> None:
         """Backpropagate from this tensor through the recorded graph.
 
+        The walk is a single explicit pass over the topological order (no
+        closure recursion), and gradient buffers are reused: the first
+        time a node's gradient is *summed* a fresh buffer is allocated
+        and marked owned, after which further contributions accumulate
+        in place with ``np.add(..., out=)`` — fan-in-heavy graphs (the
+        residual MLPs, the HyperMP trunk) stop allocating one array per
+        incoming edge.
+
         Parameters
         ----------
         grad:
@@ -196,6 +279,7 @@ class Tensor:
                     f"scalar tensor, got shape {self.shape}")
             grad = np.ones_like(self.data)
         grad = np.asarray(grad, dtype=self.data.dtype)
+        t0 = _perf_counter() if PERF.enabled else 0.0
 
         # Topological order via iterative DFS (avoids recursion limits on
         # deep graphs such as unrolled routing-cost chains).
@@ -216,6 +300,10 @@ class Tensor:
                     stack.append((parent, False))
 
         grads: dict[int, np.ndarray] = {id(self): grad}
+        # ids of buffers this backward pass allocated itself and may
+        # therefore mutate in place; everything else may alias forward
+        # data or a closure's output and must be treated as read-only.
+        owned: set[int] = set()
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
@@ -229,13 +317,16 @@ class Tensor:
             if not node._parents:
                 node._accumulate(node_grad)
                 continue
-            node._backward_dispatch(node_grad, grads)
+            node._backward_dispatch(node_grad, grads, owned)
             if not retain_graph:
                 node._backward = None
                 node._parents = ()
+        if PERF.enabled:
+            PERF.record("autograd.backward", _perf_counter() - t0)
 
     def _backward_dispatch(self, node_grad: np.ndarray,
-                           grads: dict[int, np.ndarray]) -> None:
+                           grads: dict[int, np.ndarray],
+                           owned: set[int]) -> None:
         """Run the node's backward closure, routing results into ``grads``."""
         parent_grads = self._backward(node_grad)
         if not isinstance(parent_grads, tuple):
@@ -245,10 +336,16 @@ class Tensor:
                 continue
             pid = id(parent)
             if parent._parents or parent._backward:
-                if pid in grads:
-                    grads[pid] = grads[pid] + pgrad
-                else:
+                buf = grads.get(pid)
+                if buf is None:
                     grads[pid] = pgrad
+                elif pid in owned:
+                    np.add(buf, pgrad, out=buf)
+                else:
+                    # First summation: allocate once, then own the buffer
+                    # so later fan-in contributions accumulate in place.
+                    grads[pid] = buf + pgrad
+                    owned.add(pid)
             else:
                 parent._accumulate(pgrad)
 
@@ -559,8 +656,13 @@ class Tensor:
     @staticmethod
     def where(condition: np.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
         """Differentiable selection: ``condition ? a : b``."""
-        a = as_tensor(a)
-        b = as_tensor(b)
+        # Anchor non-tensor operands to the tensor operand's dtype so a
+        # python-scalar branch (either side) cannot upcast a float32
+        # selection.
+        anchor = (a.dtype if isinstance(a, Tensor)
+                  else b.dtype if isinstance(b, Tensor) else None)
+        a = a if isinstance(a, Tensor) else as_tensor(a, dtype=anchor)
+        b = b if isinstance(b, Tensor) else as_tensor(b, dtype=anchor)
         cond = np.asarray(condition, dtype=bool)
         data = np.where(cond, a.data, b.data)
 

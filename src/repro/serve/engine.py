@@ -29,10 +29,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from time import perf_counter as _perf_counter
 
 import numpy as np
 
 from ..circuit.design import Design
+from ..perf import PERF
 from ..data.dataset import GraphSample, collate_samples, sample_of
 from ..graph.batch import plan_batches, unbatch_values
 from ..graph.lhgraph import LHGraph
@@ -43,7 +45,7 @@ from ..pipeline.cache import StageCache, default_cache_dir
 from ..pipeline.runner import stage_keys_for
 from ..train.trainer import predict_probs
 from .cache import SampleCache
-from .registry import family_of, output_channels
+from .registry import family_of, model_dtype, output_channels
 
 __all__ = ["ServeConfig", "PredictRequest", "PredictResult",
            "InferenceEngine"]
@@ -158,6 +160,10 @@ class InferenceEngine:
         self.config = config or ServeConfig()
         self.family = family_of(model).name
         self.channels = output_channels(model)
+        # Samples are materialised in the model's compute dtype, so a
+        # float32 checkpoint serves float32 end to end (the graph
+        # operators cast lazily and memoised inside spmm).
+        self.dtype = model_dtype(model)
         # Block-diagonal batching keeps *graph* families independent by
         # construction (operators never couple dies) and the MLP is
         # row-local, but the CNN families see the collated side-by-side
@@ -232,15 +238,15 @@ class InferenceEngine:
         if request.graph is not None:
             # Caller-prepared graphs bypass the pipeline and both caches
             # (no trusted content address for an arbitrary in-memory graph).
-            return sample_of(request.graph, channels=self.channels), \
-                False, None
+            return sample_of(request.graph, channels=self.channels,
+                             dtype=self.dtype), False, None
         graph_key = self._graph_key(request.design)
         sample = self.samples.get(graph_key)
         if sample is not None:
             return sample, True, graph_key
         graph = prepare_design(request.design, self.config.pipeline,
                                cache=self.stage_cache)
-        sample = sample_of(graph, channels=self.channels)
+        sample = sample_of(graph, channels=self.channels, dtype=self.dtype)
         self.samples.put(graph_key, sample)
         self._counters["designs_prepared"] += 1
         return sample, False, graph_key
@@ -320,6 +326,7 @@ class InferenceEngine:
         items, self._pending = self._pending, []
         if not items:
             return []
+        t0 = _perf_counter() if PERF.enabled else 0.0
         self._counters["flushes"] += 1
         results: list[PredictResult | None] = [None] * len(items)
         groups = plan_batches(
@@ -334,6 +341,8 @@ class InferenceEngine:
                 parts = unbatch_values(batch.graph, probs)
                 for i, member, part in zip(group, members, parts):
                     results[i] = self._result_for(member, part, len(group))
+        if PERF.enabled:
+            PERF.record("serve.flush", _perf_counter() - t0)
         return results
 
     # -- conveniences ----------------------------------------------------

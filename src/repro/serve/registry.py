@@ -43,7 +43,7 @@ from ..nn.serialize import (CheckpointError, load_checkpoint,
 
 __all__ = ["ModelFamily", "register_family", "get_family", "family_of",
            "list_families", "model_spec", "build_model", "output_channels",
-           "save_model", "restore_model"]
+           "model_dtype", "save_model", "restore_model"]
 
 
 @dataclass(frozen=True)
@@ -112,6 +112,11 @@ def output_channels(model: Module) -> int:
     return int(config.get("channels") or config.get("out_channels") or 1)
 
 
+def model_dtype(model: Module) -> np.dtype:
+    """The compute dtype of a model's parameters (see ``Module.dtype``)."""
+    return model.dtype()
+
+
 def model_spec(model: Module) -> dict:
     """The typed architecture description stored in checkpoints."""
     family = family_of(model)
@@ -142,10 +147,13 @@ def save_model(model: Module, path: str,
 
     A drop-in upgrade of :func:`repro.nn.serialize.save_checkpoint`:
     the resulting file restores deterministically via
-    :func:`restore_model` with no model object in hand.
+    :func:`restore_model` with no model object in hand.  The parameter
+    compute dtype is recorded alongside the architecture spec, so a
+    float32-trained checkpoint restores as a float32 model.
     """
     merged = dict(metadata or {})
     merged["model"] = model_spec(model)
+    merged.setdefault("dtype", str(model_dtype(model)))
     return save_checkpoint(model, path, metadata=merged)
 
 
@@ -164,7 +172,8 @@ def _legacy_spec(metadata: dict, path: str) -> dict:
         f"'channels' key; re-save it with repro.serve.registry.save_model")
 
 
-def restore_model(path: str, seed: int = 0) -> tuple[Module, dict]:
+def restore_model(path: str, seed: int = 0,
+                  dtype=None) -> tuple[Module, dict]:
     """Rebuild the checkpointed model from its embedded spec and load it.
 
     Returns ``(model, metadata)``.  The model is built from the
@@ -172,11 +181,19 @@ def restore_model(path: str, seed: int = 0) -> tuple[Module, dict]:
     :func:`save_model`; a parameter-shape mismatch between spec and
     arrays therefore indicates file corruption and raises
     :class:`CheckpointError` rather than being silently retried.
+
+    The model is cast to the checkpoint's recorded compute dtype (legacy
+    checkpoints without one restore as float64, matching how they were
+    trained); pass ``dtype`` to override — e.g. serving a float64
+    checkpoint at float32 for speed.
     """
     header = read_checkpoint_header(path)
     metadata = header.get("metadata", {})
     spec = metadata.get("model") or _legacy_spec(metadata, path)
     model = build_model(spec, seed=seed)
+    target = np.dtype(dtype) if dtype is not None \
+        else np.dtype(metadata.get("dtype", "float64"))
+    model.to_dtype(target)
     load_checkpoint(model, path)
     return model, metadata
 

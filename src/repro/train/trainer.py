@@ -17,6 +17,16 @@ reshuffles only the visit order — so a per-run
 first epoch instead of rebuilding CSR matrices each step.  Predictions are
 split back per design with :func:`repro.graph.batch.unbatch_values` for
 the per-circuit metrics.
+
+Dtype policy: the loops train in whatever dtype the samples and model
+were materialised in (``repro.nn.set_default_dtype``; the CLI defaults
+to float32) — per-step losses and gradients stay in the compute dtype,
+while cross-step *accumulators* (epoch loss totals, gradient norms,
+metric averages) are python floats / float64, so a float32 run loses no
+reporting precision.  Every ``evaluate_*`` loop runs under
+:func:`repro.nn.no_grad`; a regression suite
+(``tests/train/test_eval_no_grad.py``) asserts no backward closures are
+recorded during evaluation.
 """
 
 from __future__ import annotations

@@ -1,0 +1,128 @@
+"""Tests for the perf harness: op timers, allocation counters, reporter.
+
+The reporter smoke test is the tier-1 guard the CI nightly bench job
+relies on: if ``write_bench_report`` ever emits JSON that
+``load_bench_report`` rejects, it fails here on every push instead of
+silently corrupting the nightly ``BENCH_nn.json`` artifact.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.nn import Adam, Parameter, SparseMatrix, Tensor, spmm
+from repro.perf.report import (BENCH_SCHEMA, load_bench_report,
+                               speedup_entry, write_bench_report)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    perf.disable()
+    perf.reset()
+    yield
+    perf.disable()
+    perf.reset()
+
+
+class TestRegistry:
+    def test_disabled_records_nothing(self):
+        with perf.op_timer("noop"):
+            pass
+        assert perf.perf_report()["ops"] == {}
+
+    def test_enable_capture_and_report(self):
+        perf.enable()
+        with perf.op_timer("stage", nbytes=128):
+            pass
+        with perf.op_timer("stage", nbytes=128):
+            pass
+        report = perf.perf_report()
+        stat = report["ops"]["stage"]
+        assert stat["calls"] == 2
+        assert stat["total_s"] >= 0.0
+        assert stat["mean_s"] == pytest.approx(stat["total_s"] / 2)
+        assert stat["bytes_allocated"] == 256
+
+    def test_enable_resets_by_default(self):
+        perf.enable()
+        perf.PERF.record("old", 1.0)
+        perf.enable()
+        assert "old" not in perf.perf_report()["ops"]
+        perf.PERF.record("kept", 1.0)
+        perf.enable(reset=False)
+        assert "kept" in perf.perf_report()["ops"]
+
+    def test_hot_ops_report_when_enabled(self):
+        perf.enable()
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        op = SparseMatrix(np.eye(4))
+        out = spmm(op, x).sum()
+        out.backward()
+        p = Parameter(np.ones(3))
+        p.grad = np.ones(3)
+        Adam([p], lr=0.1).step()
+        ops = perf.perf_report()["ops"]
+        assert "spmm.forward" in ops
+        assert "spmm.backward" in ops
+        assert "autograd.backward" in ops
+        assert "optimizer.step" in ops
+
+    def test_measure_returns_time_and_peak(self):
+        m = perf.measure(lambda: np.zeros(1 << 16))
+        assert m.seconds >= 0.0
+        assert m.peak_bytes > 0
+        assert isinstance(m.value, np.ndarray)
+
+
+class TestBenchReporter:
+    def test_speedup_entry_math(self):
+        entry = speedup_entry(float32_s=1.0, float64_s=2.0, note="x")
+        assert entry["speedup_vs_float64"] == pytest.approx(2.0)
+        assert entry["note"] == "x"
+
+    def test_speedup_entry_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup_entry(0.0, 1.0)
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "BENCH_nn.json")
+        entries = {
+            "train_epoch": speedup_entry(0.5, 1.0, f1_float32=40.0,
+                                         f1_float64=40.2),
+            "spmm": speedup_entry(0.001, 0.002),
+        }
+        perf.enable()
+        perf.PERF.record("spmm.forward", 0.001, 64)
+        written = write_bench_report(path, entries,
+                                     perf_ops=perf.perf_report(),
+                                     context={"rounds": 3})
+        assert written == path
+        report = load_bench_report(path)
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["entries"]["train_epoch"]["speedup_vs_float64"] \
+            == pytest.approx(2.0)
+        assert report["perf_ops"]["ops"]["spmm.forward"]["calls"] == 1
+        assert report["context"]["rounds"] == 3
+        # The artifact must be plain parseable JSON for CI tooling.
+        with open(path) as handle:
+            assert json.load(handle)["entries"]
+
+    def test_empty_entries_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_bench_report(str(tmp_path / "b.json"), {})
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other", "entries": {"a": {}}}))
+        with pytest.raises(ValueError):
+            load_bench_report(str(path))
+
+    def test_load_rejects_non_numeric_timing(self, tmp_path):
+        path = tmp_path / "bad2.json"
+        path.write_text(json.dumps({
+            "schema": BENCH_SCHEMA,
+            "entries": {"a": {"float32_s": "fast"}}}))
+        with pytest.raises(ValueError):
+            load_bench_report(str(path))
