@@ -1,14 +1,16 @@
 #!/usr/bin/env python
 """Quickstart: train LHNN on the synthetic superblue suite.
 
-Runs the complete paper pipeline end to end:
+One declarative :class:`repro.api.ExperimentSpec` drives the complete
+paper pipeline end to end:
 
 1. generate the 15-design synthetic suite (ISPD 2011 / DAC 2012 stand-in),
 2. place each design (analytical placer), globally route it (pattern +
    rip-up-and-reroute router) and extract demand/congestion label maps,
 3. build LH-graphs, select the balanced 10:5 split (paper Table 1),
 4. train LHNN with joint supervision (γ-weighted BCE + demand MSE),
-5. report per-circuit F1 / accuracy on the 5 held-out designs.
+5. report per-circuit F1 / accuracy on the 5 held-out designs and leave
+   a checkpoint plus a JSON result manifest under ``artifacts/``.
 
 First run takes a couple of minutes (the routed suite is cached under
 ``~/.cache/repro-lhnn`` afterwards).  Usage::
@@ -19,10 +21,7 @@ First run takes a couple of minutes (the routed suite is cached under
 import argparse
 import time
 
-from repro.data import CongestionDataset
-from repro.models.lhnn import LHNNConfig
-from repro.pipeline import PipelineConfig, prepare_suite
-from repro.train import TrainConfig, evaluate_lhnn, train_lhnn
+from repro.api import ExperimentSpec, apply_overrides, run_experiment
 
 
 def main() -> None:
@@ -34,37 +33,34 @@ def main() -> None:
                         help="predict horizontal AND vertical congestion")
     args = parser.parse_args()
 
-    print("== preparing dataset (place + route 15 designs; cached) ==")
+    spec = apply_overrides(ExperimentSpec(), [
+        f"train.epochs={args.epochs}",
+        f"train.seed={args.seed}",
+        f"model.channels={2 if args.duo else 1}",
+        "train.verbose=true",
+        "output.name=lhnn-quickstart",
+    ])
+
+    print(f"== running experiment {spec.experiment_name()} "
+          f"({'duo' if args.duo else 'uni'}-channel, "
+          f"{args.epochs} epochs; pipeline cached after first run) ==")
     t0 = time.time()
-    graphs = prepare_suite(PipelineConfig(), verbose=True)
-    print(f"   done in {time.time() - t0:.1f} s")
+    result = run_experiment(spec)
+    print(f"   done in {time.time() - t0:.1f} s "
+          f"({result.model.num_parameters()} parameters)")
 
-    channels = 2 if args.duo else 1
-    dataset = CongestionDataset(graphs, channels=channels)
-    split = dataset.split
-    print(f"\n== balanced split (paper Table 1 protocol) ==")
-    print(f"   train rate {100 * split.train_rate:.2f} %  "
-          f"test rate {100 * split.test_rate:.2f} %  "
-          f"gap {100 * split.rate_gap:.3f} pp")
-    print("   train designs:",
-          ", ".join(graphs[i].name for i in split.train_indices))
-    print("   test designs: ",
-          ", ".join(graphs[i].name for i in split.test_indices))
+    workload = result.manifest["workload"]
+    print("\n== balanced split (paper Table 1 protocol) ==")
+    print("   train designs:", ", ".join(workload["train_designs"]))
+    print("   test designs: ", ", ".join(workload["test_designs"]))
 
-    print(f"\n== training LHNN ({'duo' if args.duo else 'uni'}-channel, "
-          f"{args.epochs} epochs) ==")
-    t0 = time.time()
-    model = train_lhnn(dataset.train_samples(),
-                       TrainConfig(epochs=args.epochs, seed=args.seed,
-                                   verbose=True),
-                       LHNNConfig(channels=channels))
-    print(f"   trained in {time.time() - t0:.1f} s "
-          f"({model.num_parameters()} parameters)")
-
-    metrics = evaluate_lhnn(model, dataset.test_samples())
-    print(f"\n== held-out results (per-circuit average) ==")
-    print(f"   F1  = {metrics['f1']:.2f} %")
-    print(f"   ACC = {metrics['acc']:.2f} %")
+    print("\n== held-out results (per-circuit average) ==")
+    print(f"   F1  = {result.metrics['f1']:.2f} %")
+    print(f"   ACC = {result.metrics['acc']:.2f} %")
+    print(f"\ncheckpoint: {result.checkpoint_path}")
+    print(f"manifest:   {result.manifest_path}  — evaluate again with\n"
+          f"  python -m repro.cli evaluate "
+          f"--checkpoint {result.checkpoint_path}")
     print("\nPaper reference (real superblue suite, GPU): "
           "F1 40.89 uni / 37.48 duo.")
 

@@ -15,28 +15,28 @@ experimental stack:
 * :mod:`repro.pipeline` — netlist → placement → routing → LH-graph,
 * :mod:`repro.eval` — paper tables and Figure-4 visualisation,
 * :mod:`repro.perf` — op-level perf instrumentation and the
-  ``BENCH_nn.json`` benchmark reporter.
+  ``BENCH_nn.json`` benchmark reporter,
+* :mod:`repro.api` — the declarative experiment layer: one
+  :class:`~repro.api.ExperimentSpec` drives every model family,
+  workload and entry point.
 
 Quickstart::
 
-    from repro.pipeline import PipelineConfig, prepare_suite
-    from repro.data import CongestionDataset
-    from repro.train import TrainConfig, train_lhnn, evaluate_lhnn
+    from repro.api import ExperimentSpec, apply_overrides, run_experiment
 
-    graphs = prepare_suite(PipelineConfig())
-    dataset = CongestionDataset(graphs, channels=1)
-    model = train_lhnn(dataset.train_samples(), TrainConfig(epochs=40))
-    print(evaluate_lhnn(model, dataset.test_samples()))
+    spec = apply_overrides(ExperimentSpec(), ["train.epochs=40"])
+    result = run_experiment(spec)      # prepare -> train -> evaluate -> save
+    print(result.metrics)
 """
 
 __version__ = "1.0.0"
 
-from . import circuit, data, eval, features, graph, models, nn, perf
+from . import api, circuit, data, eval, features, graph, models, nn, perf
 from . import placement, routing, train
 from .pipeline import PipelineConfig, prepare_design, prepare_suite
 
 __all__ = [
-    "circuit", "data", "eval", "features", "graph", "models", "nn",
+    "api", "circuit", "data", "eval", "features", "graph", "models", "nn",
     "perf", "placement", "routing", "train",
     "PipelineConfig", "prepare_design", "prepare_suite",
     "__version__",

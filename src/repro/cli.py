@@ -1,22 +1,37 @@
 """Command-line interface for the LHNN reproduction.
 
+A thin shell over :mod:`repro.api`: every data-touching subcommand
+resolves a declarative :class:`~repro.api.ExperimentSpec` (defaults ←
+``--config spec.toml``/``.json`` ← dedicated flags ← ``--set``
+overrides) and hands it to the experiment layer, so any registered model
+family × workload combination is reachable from the same flags.
+
 Usage (after ``pip install -e .``)::
 
-    python -m repro.cli prepare   [--scale 1.0] [--suite NAME] [--workers N]
-                                  [--bookshelf-dir DIR] [--list-suites]
-    python -m repro.cli stats                             # Table-1 style stats
-    python -m repro.cli train     [--epochs 20] [--duo] [--batch-size 4]
-                                  [--dtype float32|float64] [--out ckpt.npz]
-    python -m repro.cli evaluate  --checkpoint ckpt.npz   # held-out metrics
-    python -m repro.cli predict   --checkpoint ckpt.npz --design superblue5
-                                  [--channel h|v|both] [--suite NAME]
-    python -m repro.cli serve     --checkpoint ckpt.npz [--port N]
-                                  [--max-batch 8] [--dtype float32|float64]
+    python -m repro.cli prepare    [--scale 1.0] [--suite NAME] [--workers N]
+                                   [--bookshelf-dir DIR] [--list-suites]
+    python -m repro.cli stats      [--suite NAME] [--scale 1.0]
+    python -m repro.cli train      [--model lhnn|mlp|gridsage|unet|pix2pix]
+                                   [--suite NAME] [--scale 1.0] [--epochs 20]
+                                   [--duo] [--batch-size 4] [--dtype float32]
+                                   [--config spec.toml] [--set KEY=VAL ...]
+                                   [--out ckpt.npz]
+    python -m repro.cli experiment --config spec.toml [--set KEY=VAL ...]
+                                   [--dry-run]
+    python -m repro.cli evaluate   --checkpoint ckpt.npz [--suite NAME]
+                                   [--scale 1.0]
+    python -m repro.cli predict    --checkpoint ckpt.npz --design superblue5
+                                   [--channel h|v|both] [--suite NAME]
+                                   [--scale 1.0]
+    python -m repro.cli serve      --checkpoint ckpt.npz [--port N]
+                                   [--max-batch 8] [--dtype float32|float64]
     python -m repro.cli info                              # package versions
 
 Every subcommand works off the cached pipeline products, so the first
 invocation of any data-touching command pays the place-and-route cost
-once.
+once.  ``--set`` uses the dotted-path override grammar documented in
+``docs/experiment_api.md`` (e.g. ``--set train.epochs=5 --set
+model.params.hidden=16``).
 """
 
 from __future__ import annotations
@@ -26,12 +41,28 @@ import sys
 
 import numpy as np
 
+#: The registered model families, spelled out for argparse choices (the
+#: registry agrees; see ``repro.serve.registry.list_families``).
+MODEL_FAMILIES = ("lhnn", "mlp", "gridsage", "unet", "pix2pix")
+
 
 def _positive_int(value: str) -> int:
     parsed = int(value)
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
     return parsed
+
+
+def _add_spec_io(parser: argparse.ArgumentParser,
+                 config_required: bool = False) -> None:
+    parser.add_argument("--config", default=None, required=config_required,
+                        help="experiment spec file (.toml or .json); "
+                             "flags and --set override it")
+    parser.add_argument("--set", action="append", dest="overrides",
+                        metavar="SECTION.KEY=VALUE", default=[],
+                        help="dotted-path spec override, repeatable "
+                             "(e.g. --set train.epochs=5 "
+                             "--set model.params.hidden=16)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,28 +89,59 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-suites", action="store_true", dest="list_suites",
                    help="print the registered workloads and exit")
 
-    sub.add_parser("stats", help="print dataset statistics and the split")
+    p = sub.add_parser("stats", help="print dataset statistics and the split")
+    p.add_argument("--suite", default="superblue",
+                   help="registered workload to summarise")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--count", type=_positive_int, default=None,
+                   help="number of designs for the scenario families")
 
-    p = sub.add_parser("train", help="train LHNN and save a checkpoint")
-    p.add_argument("--epochs", type=int, default=20)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--duo", action="store_true")
-    p.add_argument("--gamma", type=float, default=0.7)
-    p.add_argument("--batch-size", type=_positive_int, default=1,
+    p = sub.add_parser("train", help="train any registered model family on "
+                       "any registered workload and save a checkpoint")
+    p.add_argument("--model", choices=MODEL_FAMILIES, default=None,
+                   help="model family to train (default: the spec's, "
+                        "i.e. lhnn)")
+    p.add_argument("--suite", default=None,
+                   help="registered workload to train on "
+                        "(default: the spec's, i.e. superblue)")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--count", type=_positive_int, default=None,
+                   help="number of designs for the scenario families")
+    p.add_argument("--epochs", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--duo", action="store_true",
+                   help="predict horizontal AND vertical congestion "
+                        "(model.channels=2)")
+    p.add_argument("--gamma", type=float, default=None)
+    p.add_argument("--batch-size", type=_positive_int, default=None,
                    dest="batch_size",
                    help="designs composed into one block-diagonal "
                         "supergraph per optimizer step (1 = per-design)")
-    p.add_argument("--dtype", choices=("float32", "float64"),
-                   default="float32",
+    p.add_argument("--dtype", choices=("float32", "float64"), default=None,
                    help="compute dtype of the numerical engine; float32 "
-                        "is ~2x faster on CPU with held-out metrics "
-                        "within noise (dtype is recorded in the "
-                        "checkpoint and honoured at restore)")
-    p.add_argument("--out", default="artifacts/lhnn.npz")
+                        "(the spec default) is ~2x faster on CPU with "
+                        "held-out metrics within noise (dtype is recorded "
+                        "in the checkpoint and honoured at restore)")
+    p.add_argument("--out", default=None,
+                   help="checkpoint path (default: "
+                        "artifacts/<family>-<suite>.npz)")
+    _add_spec_io(p)
+
+    p = sub.add_parser("experiment", help="run a declarative experiment "
+                       "spec end to end (train -> evaluate -> checkpoint "
+                       "-> result manifest)")
+    _add_spec_io(p, config_required=True)
+    p.add_argument("--dry-run", action="store_true", dest="dry_run",
+                   help="print the resolved canonical spec and exit")
 
     p = sub.add_parser("evaluate", help="evaluate a checkpoint on the "
-                       "held-out designs")
+                       "held-out designs of a workload")
     p.add_argument("--checkpoint", required=True)
+    p.add_argument("--suite", default="superblue",
+                   help="registered workload to evaluate on")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--count", type=_positive_int, default=None,
+                   help="number of designs for the scenario families")
 
     p = sub.add_parser("predict", help="render prediction vs truth for one "
                        "design (served through the inference engine)")
@@ -88,6 +150,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="design name, e.g. superblue5")
     p.add_argument("--suite", default="superblue",
                    help="workload the design belongs to")
+    p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--channel", choices=("h", "v", "both"), default="h",
                    help="congestion direction(s): 'v' needs a duo-channel "
                         "checkpoint, 'both' renders every channel the "
@@ -116,13 +179,57 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_dataset(channels: int = 1, scale: float = 1.0):
-    from repro.data import CongestionDataset
-    from repro.pipeline import PipelineConfig, prepare_workload
-    # Lazy manifest view: graphs deserialise per design on first access.
-    graphs = prepare_workload("superblue", PipelineConfig(scale=scale),
-                              lazy=True, verbose=True)
-    return CongestionDataset(graphs, channels=channels)
+def _load_dataset(channels: int = 1, scale: float = 1.0,
+                  suite: str = "superblue", count: int | None = None):
+    """Dataset views of any registered workload (lazy manifest-backed)."""
+    from repro.api import load_dataset, spec_from_dict
+    spec = spec_from_dict({
+        "workload": {"suite": suite, "scale": scale, "count": count},
+        "model": {"channels": channels},
+    })
+    return load_dataset(spec, verbose=True)
+
+
+def _resolve_spec(args, flag_sets: list[str]):
+    """defaults ← --config file ← dedicated flags ← --set overrides."""
+    from repro.api import ExperimentSpec, apply_overrides, load_spec
+    spec = load_spec(args.config) if args.config else ExperimentSpec()
+    return apply_overrides(spec, flag_sets + list(args.overrides or []))
+
+
+def _train_flag_sets(args) -> list[str]:
+    """The dotted-path overrides implied by the dedicated train flags."""
+    sets = []
+    if args.model is not None:
+        sets.append(f"model.family={args.model}")
+    if args.duo:
+        sets.append("model.channels=2")
+    if args.suite is not None:
+        sets.append(f"workload.suite={args.suite}")
+    if args.scale is not None:
+        sets.append(f"workload.scale={args.scale}")
+    if args.count is not None:
+        sets.append(f"workload.count={args.count}")
+    if args.epochs is not None:
+        sets.append(f"train.epochs={args.epochs}")
+    if args.seed is not None:
+        sets.append(f"train.seed={args.seed}")
+    if args.gamma is not None:
+        sets.append(f"train.gamma={args.gamma}")
+    if args.batch_size is not None:
+        sets.append(f"train.batch_size={args.batch_size}")
+    if args.dtype is not None:
+        sets.append(f"compute.dtype={args.dtype}")
+    if args.out is not None:
+        sets.append(f"output.checkpoint={args.out}")
+    return sets
+
+
+def _print_result(result) -> None:
+    print(f"held-out F1 {result.metrics['f1']:.2f} %  "
+          f"ACC {result.metrics['acc']:.2f} %")
+    print(f"checkpoint written to {result.checkpoint_path}")
+    print(f"result manifest written to {result.manifest_path}")
 
 
 def cmd_prepare(args) -> int:
@@ -169,8 +276,14 @@ def cmd_prepare(args) -> int:
 
 
 def cmd_stats(args) -> int:
+    from repro.api import SpecError
     from repro.eval import format_table
-    dataset = _load_dataset()
+    try:
+        dataset = _load_dataset(suite=args.suite, scale=args.scale,
+                                count=args.count)
+    except SpecError as exc:
+        print(f"stats failed: {exc}", file=sys.stderr)
+        return 2
     print(format_table(dataset.table1_rows(),
                        title="Dataset information (Table 1 protocol)"))
     split = dataset.split
@@ -185,52 +298,65 @@ def cmd_stats(args) -> int:
 
 
 def cmd_train(args) -> int:
-    from repro.models.lhnn import LHNNConfig
-    from repro.nn import set_default_dtype
-    from repro.serve.registry import save_model
-    from repro.train import TrainConfig, evaluate_lhnn, train_lhnn
-    # Set the compute dtype before any parameter or sample exists, so
-    # the whole run — init, forward, backward, optimizer — is uniform.
-    set_default_dtype(args.dtype)
-    channels = 2 if args.duo else 1
-    dataset = _load_dataset(channels=channels)
-    model = train_lhnn(dataset.train_samples(),
-                       TrainConfig(epochs=args.epochs, seed=args.seed,
-                                   gamma=args.gamma,
-                                   batch_size=args.batch_size, verbose=True),
-                       LHNNConfig(channels=channels))
-    metrics = evaluate_lhnn(model, dataset.test_samples(),
-                            batch_size=args.batch_size)
-    print(f"held-out F1 {metrics['f1']:.2f} %  ACC {metrics['acc']:.2f} %")
-    # save_model embeds the full architecture spec, so the checkpoint
-    # restores deterministically via the model registry.
-    path = save_model(model, args.out, metadata={
-        "channels": channels, "epochs": args.epochs, "seed": args.seed,
-        "gamma": args.gamma, "batch_size": args.batch_size,
-        "dtype": args.dtype,
-        "f1": metrics["f1"], "acc": metrics["acc"],
-    })
-    print(f"checkpoint written to {path}")
+    from repro.api import SpecError, run_experiment
+    try:
+        spec = _resolve_spec(args, _train_flag_sets(args))
+        result = run_experiment(spec, verbose=True)
+    except SpecError as exc:
+        print(f"train failed: {exc}", file=sys.stderr)
+        return 2
+    _print_result(result)
     return 0
 
 
-def _restore_model(checkpoint: str):
-    """Registry-based restore (kept for callers of the old helper)."""
-    from repro.serve.registry import restore_model
-    return restore_model(checkpoint)
+def cmd_experiment(args) -> int:
+    from repro.api import SpecError, dumps_spec, run_experiment
+    try:
+        spec = _resolve_spec(args, [])
+    except SpecError as exc:
+        print(f"experiment failed: {exc}", file=sys.stderr)
+        return 2
+    if args.dry_run:
+        print(dumps_spec(spec))
+        return 0
+    try:
+        result = run_experiment(spec, verbose=True)
+    except SpecError as exc:
+        print(f"experiment failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"experiment {spec.experiment_name()} "
+          f"({spec.model.family} x {spec.workload.suite}, "
+          f"fingerprint {result.fingerprint})")
+    _print_result(result)
+    return 0
 
 
 def cmd_evaluate(args) -> int:
+    from repro.api import SpecError
     from repro.eval.reporting import per_design_report, predicted_rate_table
     from repro.nn import set_default_dtype
+    from repro.nn.serialize import CheckpointError
     from repro.serve.registry import (model_dtype, output_channels,
                                       restore_model)
-    model, meta = restore_model(args.checkpoint)
+    try:
+        model, meta = restore_model(args.checkpoint)
+    except CheckpointError as exc:
+        print(f"evaluate failed: {exc}", file=sys.stderr)
+        return 2
     # Evaluate in the checkpoint's compute dtype: dataset samples must
     # match the parameters or numpy silently upcasts every forward pass.
     set_default_dtype(model_dtype(model))
-    dataset = _load_dataset(channels=output_channels(model))
-    rows = per_design_report(model, dataset.test_samples())
+    try:
+        dataset = _load_dataset(channels=output_channels(model),
+                                suite=args.suite, scale=args.scale,
+                                count=args.count)
+    except SpecError as exc:
+        print(f"evaluate failed: {exc}", file=sys.stderr)
+        return 2
+    # CNN checkpoints trained with a crop evaluate tile-by-tile, so this
+    # report agrees with the train-time held-out metrics.
+    crop = (meta.get("experiment") or {}).get("train", {}).get("crop")
+    rows = per_design_report(model, dataset.test_samples(), crop=crop)
     print(predicted_rate_table(rows, title="Held-out per-design results"))
     f1s = [r["F1"] for r in rows]
     print(f"\nmean F1 {np.mean(f1s):.2f} %")
@@ -251,7 +377,7 @@ def cmd_predict(args) -> int:
     except CheckpointError as exc:
         print(f"predict failed: {exc}", file=sys.stderr)
         return 2
-    config = PipelineConfig()
+    config = PipelineConfig(scale=args.scale)
     engine = InferenceEngine(model, ServeConfig(pipeline=config))
     resolver = DesignResolver(config, default_suite=args.suite)
     try:
@@ -324,6 +450,7 @@ def main(argv: list[str] | None = None) -> int:
         "prepare": cmd_prepare,
         "stats": cmd_stats,
         "train": cmd_train,
+        "experiment": cmd_experiment,
         "evaluate": cmd_evaluate,
         "predict": cmd_predict,
         "serve": cmd_serve,

@@ -12,28 +12,40 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.dataset import GraphSample
-from ..nn import Tensor, no_grad
+from ..nn import no_grad
 from ..train.metrics import confusion, f1_score, precision, recall
 from .tables import format_table
 
 __all__ = ["per_design_report", "predicted_rate_table", "markdown_table"]
 
 
-def _lhnn_probs(model, sample: GraphSample) -> np.ndarray:
-    out = model(sample.graph, vc=Tensor(sample.features),
-                vn=Tensor(sample.net_features))
-    return out.cls_prob.data
-
-
 def per_design_report(model, samples: list[GraphSample],
                       threshold: float = 0.5,
-                      predict=None) -> list[dict]:
+                      predict=None, crop: int | None = None) -> list[dict]:
     """Per-design precision/recall/F1/rates for a trained model.
 
     ``predict(sample) -> prob array`` customises inference; the default
-    treats ``model`` as an LHNN.
+    routes any registered model family through
+    :func:`repro.train.trainer.predict_probs`.  ``crop`` makes the CNN
+    families (U-Net, Pix2Pix) predict tile-by-tile exactly as they
+    trained — pass the checkpoint's ``train.crop`` so this report agrees
+    with the runtime evaluator's metrics.
     """
-    predict = predict or (lambda s: _lhnn_probs(model, s))
+    if predict is None:
+        from ..train.trainer import _predict_tiled, predict_probs
+        from ..models.pix2pix import Pix2Pix
+        from ..models.unet import UNet
+        if crop is not None and isinstance(model, (UNet, Pix2Pix)):
+            forward = (model.generator if isinstance(model, Pix2Pix)
+                       else model)
+
+            def predict(s):
+                prob = _predict_tiled(forward, s.image,
+                                      s.cls_target.shape[1], crop)
+                return prob[0].transpose(1, 2, 0).reshape(
+                    -1, prob.shape[1])
+        else:
+            predict = lambda s: predict_probs(model, s)  # noqa: E731
     rows = []
     if hasattr(model, "eval"):
         model.eval()

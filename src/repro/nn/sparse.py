@@ -58,6 +58,20 @@ class SparseMatrix:
         self._transpose_cache: SparseMatrix | None = None
         self._dtype_cache: dict[np.dtype, SparseMatrix] = {}
 
+    def __getstate__(self):
+        # Only the CSR itself is state; the transpose/dtype memos are
+        # per-process (and the transpose memo is cyclic), so pickled
+        # operators — e.g. LH-graphs in the pipeline stage cache — stay
+        # lean and rebuild their memos lazily.
+        return {"mat": self.mat}
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Blobs pickled before the memo attributes existed (pre-dtype-
+        # policy stage caches) must still restore to working operators.
+        self._transpose_cache = None
+        self._dtype_cache = {}
+
     @property
     def shape(self) -> tuple[int, int]:
         """(rows, cols) of the operator."""

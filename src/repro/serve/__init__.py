@@ -26,17 +26,18 @@ from .cache import SampleCache
 from .client import LocalClient, ServeClient, ServeError
 from .engine import (InferenceEngine, PredictRequest, PredictResult,
                      ServeConfig)
-from .registry import (ModelFamily, build_model, family_of, get_family,
-                       list_families, model_spec, output_channels,
-                       register_family, restore_model, save_model)
+from .registry import (ModelFamily, attach_runtime, build_model, family_of,
+                       get_family, get_runtime, list_families, model_spec,
+                       output_channels, register_family, restore_model,
+                       save_model)
 from .server import DesignResolver, serve_forever, serve_socket
 
 __all__ = [
     "SampleCache",
     "LocalClient", "ServeClient", "ServeError",
     "InferenceEngine", "PredictRequest", "PredictResult", "ServeConfig",
-    "ModelFamily", "build_model", "family_of", "get_family",
-    "list_families", "model_spec", "output_channels", "register_family",
-    "restore_model", "save_model",
+    "ModelFamily", "attach_runtime", "build_model", "family_of",
+    "get_family", "get_runtime", "list_families", "model_spec",
+    "output_channels", "register_family", "restore_model", "save_model",
     "DesignResolver", "serve_forever", "serve_socket",
 ]

@@ -27,7 +27,8 @@ by trial and error.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+import dataclasses
+from dataclasses import asdict, dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -41,9 +42,10 @@ from ..nn.layers import Module
 from ..nn.serialize import (CheckpointError, load_checkpoint,
                             read_checkpoint_header, save_checkpoint)
 
-__all__ = ["ModelFamily", "register_family", "get_family", "family_of",
-           "list_families", "model_spec", "build_model", "output_channels",
-           "model_dtype", "save_model", "restore_model"]
+__all__ = ["ModelFamily", "register_family", "attach_runtime", "get_family",
+           "get_runtime", "family_of", "list_families", "model_spec",
+           "build_model", "output_channels", "model_dtype", "save_model",
+           "restore_model"]
 
 
 @dataclass(frozen=True)
@@ -53,12 +55,34 @@ class ModelFamily:
     ``config_of`` must return plain JSON-serialisable values (the dict is
     stored inside the checkpoint header); ``build(config, rng)`` must
     accept exactly what ``config_of`` produced.
+
+    A family optionally carries its *experiment runtime* — the pieces
+    :func:`repro.api.run_experiment` needs to drive it without a
+    per-family call-path:
+
+    * ``trainer(samples, train_config, model_config) -> Module`` — the
+      training loop; ``model_config`` is a plain dict of family-specific
+      construction knobs (``channels`` plus e.g. ``hidden`` /
+      ``base_width`` / any :class:`~repro.models.lhnn.LHNNConfig` field),
+    * ``evaluator(model, samples, train_config) -> {"f1", "acc"}`` — the
+      held-out metric loop (reads ``threshold`` / ``batch_size`` /
+      ``crop`` off the train config),
+    * ``default_config`` — the default ``model_config`` entries merged
+      under the caller's overrides.
+
+    The runtimes live in :mod:`repro.train.trainer` and are attached via
+    :func:`attach_runtime` when that module is imported;
+    :func:`get_runtime` triggers the import lazily, so this module keeps
+    its light import footprint for restore-only callers.
     """
 
     name: str
     model_type: type
     config_of: Callable[[Module], dict]
     build: Callable[[dict, np.random.Generator], Module]
+    trainer: Callable | None = None
+    evaluator: Callable | None = None
+    default_config: dict = field(default_factory=dict)
 
 
 _REGISTRY: dict[str, ModelFamily] = {}
@@ -67,13 +91,51 @@ _BY_TYPE: dict[type, ModelFamily] = {}
 
 def register_family(name: str, model_type: type,
                     config_of: Callable[[Module], dict],
-                    build: Callable[[dict, np.random.Generator], Module]
-                    ) -> ModelFamily:
+                    build: Callable[[dict, np.random.Generator], Module],
+                    trainer: Callable | None = None,
+                    evaluator: Callable | None = None,
+                    default_config: dict | None = None) -> ModelFamily:
     """Register an architecture family (last registration wins)."""
     family = ModelFamily(name=name, model_type=model_type,
-                         config_of=config_of, build=build)
+                         config_of=config_of, build=build,
+                         trainer=trainer, evaluator=evaluator,
+                         default_config=dict(default_config or {}))
     _REGISTRY[name] = family
     _BY_TYPE[model_type] = family
+    return family
+
+
+def attach_runtime(name: str, *, trainer: Callable, evaluator: Callable,
+                   default_config: dict | None = None) -> ModelFamily:
+    """Attach the experiment runtime to an already-registered family.
+
+    Keeps registration in two layers on purpose: the architecture spec
+    (constructor ↔ config) lives here, the training loops live in
+    :mod:`repro.train.trainer` and attach themselves on import, so
+    neither module needs the other at import time.
+    """
+    family = dataclasses.replace(
+        get_family(name), trainer=trainer, evaluator=evaluator,
+        default_config=dict(default_config or {}))
+    _REGISTRY[name] = family
+    _BY_TYPE[family.model_type] = family
+    return family
+
+
+def get_runtime(name: str) -> ModelFamily:
+    """Family by name with its trainer/evaluator runtime attached.
+
+    Imports :mod:`repro.train.trainer` on first use (that module calls
+    :func:`attach_runtime` for every built-in family at import time).
+    """
+    family = get_family(name)
+    if family.trainer is None:
+        import repro.train.trainer  # noqa: F401  (attaches runtimes)
+        family = get_family(name)
+    if family.trainer is None or family.evaluator is None:
+        raise CheckpointError(
+            f"model family {name!r} has no training runtime attached; "
+            f"call repro.serve.registry.attach_runtime for it")
     return family
 
 
@@ -175,6 +237,10 @@ def _legacy_spec(metadata: dict, path: str) -> dict:
 def restore_model(path: str, seed: int = 0,
                   dtype=None) -> tuple[Module, dict]:
     """Rebuild the checkpointed model from its embedded spec and load it.
+
+    This is the one checkpoint-restore entry point; the historical
+    ``repro.cli._restore_model`` shim (which probed architectures by
+    try/except) was superseded by this function and has been removed.
 
     Returns ``(model, metadata)``.  The model is built from the
     ``metadata["model"]`` spec (family + config) written by

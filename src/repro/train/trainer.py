@@ -7,6 +7,23 @@ congestion map (all models) plus MSE on the demand map (LHNN's joint
 supervision), evaluation = per-circuit F1/ACC on held-out designs averaged
 per seed, with mean ± std over seeds.
 
+Every family exposes one *uniform* runtime interface, registered with the
+model registry (:func:`repro.serve.registry.attach_runtime`) so
+:func:`repro.api.run_experiment` drives any family from one declarative
+spec:
+
+* ``trainer(samples, train_config, model_config) -> model`` where
+  ``model_config`` is a plain dict of family-specific construction knobs
+  (``channels`` plus e.g. ``hidden`` / ``base_width`` / any
+  :class:`~repro.models.lhnn.LHNNConfig` field),
+* ``evaluator(model, samples, train_config) -> {"f1", "acc"}`` reading
+  ``threshold`` / ``batch_size`` / ``crop`` off the train config.
+
+The historical per-family entry points (``train_lhnn`` /
+``evaluate_lhnn`` …) are kept as thin deprecation shims over the same
+implementations, so existing imports keep working and produce identical
+numerics.
+
 Graph-based models (LHNN, GridSAGE) and the MLP baseline train in
 DGL-style mini-batches: ``TrainConfig.batch_size`` designs are composed
 into one block-diagonal supergraph per optimizer step
@@ -30,6 +47,9 @@ recorded during evaluation.
 """
 
 from __future__ import annotations
+
+import warnings
+from dataclasses import asdict
 
 import numpy as np
 
@@ -159,25 +179,48 @@ def _predict_tiled(forward, image: np.ndarray, out_channels: int,
     return out
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(f"{old} is deprecated; use {new} (the family runtimes "
+                  f"behind repro.api.run_experiment)", DeprecationWarning,
+                  stacklevel=3)
+
+
+def _model_knobs(model_config: dict | None, **defaults) -> dict:
+    """Merge a family's construction knobs over their defaults.
+
+    Rejects unknown keys with ``TypeError`` (mirroring a constructor
+    signature) so a typo in ``model.params`` fails loudly instead of
+    silently training the default architecture.
+    """
+    knobs = dict(defaults)
+    unknown = sorted(set(model_config or {}) - set(knobs))
+    if unknown:
+        raise TypeError(f"unknown model config knob(s) {unknown}; "
+                        f"known: {sorted(knobs)}")
+    knobs.update(model_config or {})
+    return knobs
+
+
 # ---------------------------------------------------------------------------
 # LHNN
 # ---------------------------------------------------------------------------
-def train_lhnn(train_samples: list[GraphSample], config: TrainConfig,
-               model_config: LHNNConfig | None = None) -> LHNN:
+def _train_lhnn(train_samples: list[GraphSample], config: TrainConfig,
+                model_config: dict | None = None) -> LHNN:
     """Train LHNN on the training designs (full-graph or sampled).
 
-    With ``config.batch_size > 1``, each optimizer step runs one forward /
-    backward pass over the block-diagonal composition of a whole
-    mini-batch; neighbour sampling (when enabled) draws on the batched
-    operators directly.
+    ``model_config`` holds :class:`LHNNConfig` fields (``channels``,
+    ``hidden``, …).  With ``config.batch_size > 1``, each optimizer step
+    runs one forward / backward pass over the block-diagonal composition
+    of a whole mini-batch; neighbour sampling (when enabled) draws on the
+    batched operators directly.
     """
     rng = np.random.default_rng(config.seed)
-    model_config = model_config or LHNNConfig()
-    model = LHNN(model_config, rng)
+    lhnn_config = LHNNConfig(**(model_config or {}))
+    model = LHNN(lhnn_config, rng)
     opt = Adam(model.parameters(), lr=config.lr)
     schedule = two_phase_lr(opt, config.epochs, config.lr_final)
     loss_fn = JointLoss(gamma=config.gamma,
-                        use_regression=model_config.use_jointing)
+                        use_regression=lhnn_config.use_jointing)
     groups = _fixed_batches(len(train_samples), config.batch_size, rng)
     cache = BatchCache(max_entries=max(len(groups), 1))
     order = np.arange(len(groups))
@@ -207,10 +250,10 @@ def train_lhnn(train_samples: list[GraphSample], config: TrainConfig,
     return model
 
 
-def evaluate_lhnn(model: LHNN, samples: list[GraphSample],
-                  threshold: float = 0.5,
-                  batch_size: int = 1,
-                  cache: BatchCache | None = None) -> dict[str, float]:
+def _evaluate_lhnn(model: LHNN, samples: list[GraphSample],
+                   threshold: float = 0.5,
+                   batch_size: int = 1,
+                   cache: BatchCache | None = None) -> dict[str, float]:
     """Per-circuit F1/ACC averaged over ``samples`` (values in %).
 
     ``batch_size`` designs share one batched forward pass; predictions are
@@ -235,17 +278,20 @@ def evaluate_lhnn(model: LHNN, samples: list[GraphSample],
 # ---------------------------------------------------------------------------
 # MLP baseline
 # ---------------------------------------------------------------------------
-def train_mlp(train_samples: list[GraphSample], config: TrainConfig,
-              channels: int = 1, hidden: int = 32) -> MLPBaseline:
+def _train_mlp(train_samples: list[GraphSample], config: TrainConfig,
+               model_config: dict | None = None) -> MLPBaseline:
     """Train the 4-layer residual MLP on per-G-cell features.
 
-    Mini-batches stack the feature rows of ``config.batch_size`` designs
-    into one matrix per optimizer step (the MLP needs no graph, so the
-    collate is a plain concatenation, pre-computed once per run).
+    ``model_config`` knobs: ``channels``, ``hidden``.  Mini-batches stack
+    the feature rows of ``config.batch_size`` designs into one matrix per
+    optimizer step (the MLP needs no graph, so the collate is a plain
+    concatenation, pre-computed once per run).
     """
+    mc = _model_knobs(model_config, channels=1, hidden=32)
     rng = np.random.default_rng(config.seed)
     model = MLPBaseline(in_features=train_samples[0].features.shape[1],
-                        hidden=hidden, channels=channels, rng=rng)
+                        hidden=mc["hidden"],
+                        channels=mc["channels"], rng=rng)
     opt = Adam(model.parameters(), lr=config.lr)
     schedule = two_phase_lr(opt, config.epochs, config.lr_final)
     loss_fn = GammaWeightedBCE(gamma=config.gamma)
@@ -271,9 +317,9 @@ def train_mlp(train_samples: list[GraphSample], config: TrainConfig,
     return model
 
 
-def evaluate_mlp(model: MLPBaseline, samples: list[GraphSample],
-                 threshold: float = 0.5,
-                 batch_size: int = 1) -> dict[str, float]:
+def _evaluate_mlp(model: MLPBaseline, samples: list[GraphSample],
+                  threshold: float = 0.5,
+                  batch_size: int = 1) -> dict[str, float]:
     """Per-circuit F1/ACC averaged over ``samples`` (values in %)."""
     model.eval()
     f1s, accs = [], []
@@ -294,12 +340,17 @@ def evaluate_mlp(model: MLPBaseline, samples: list[GraphSample],
 # ---------------------------------------------------------------------------
 # U-Net baseline
 # ---------------------------------------------------------------------------
-def train_unet(train_samples: list[GraphSample], config: TrainConfig,
-               channels: int = 1, base_width: int = 12) -> UNet:
-    """Train U-Net on crafted-feature images."""
+def _train_unet(train_samples: list[GraphSample], config: TrainConfig,
+                model_config: dict | None = None) -> UNet:
+    """Train U-Net on crafted-feature images.
+
+    ``model_config`` knobs: ``channels``, ``base_width``.
+    """
+    mc = _model_knobs(model_config, channels=1, base_width=12)
     rng = np.random.default_rng(config.seed)
     model = UNet(in_channels=train_samples[0].image.shape[1],
-                 out_channels=channels, base_width=base_width, rng=rng)
+                 out_channels=mc["channels"],
+                 base_width=mc["base_width"], rng=rng)
     opt = Adam(model.parameters(), lr=config.lr)
     schedule = two_phase_lr(opt, config.epochs, config.lr_final)
     loss_fn = GammaWeightedBCE(gamma=config.gamma)
@@ -321,9 +372,9 @@ def train_unet(train_samples: list[GraphSample], config: TrainConfig,
     return model
 
 
-def evaluate_unet(model: UNet, samples: list[GraphSample],
-                  threshold: float = 0.5,
-                  crop: int | None = None) -> dict[str, float]:
+def _evaluate_unet(model: UNet, samples: list[GraphSample],
+                   threshold: float = 0.5,
+                   crop: int | None = None) -> dict[str, float]:
     """Per-circuit F1/ACC averaged over ``samples`` (values in %).
 
     When ``crop`` is given, prediction is tiled exactly as in training and
@@ -345,12 +396,17 @@ def evaluate_unet(model: UNet, samples: list[GraphSample],
 # ---------------------------------------------------------------------------
 # Pix2Pix baseline
 # ---------------------------------------------------------------------------
-def train_pix2pix(train_samples: list[GraphSample], config: TrainConfig,
-                  channels: int = 1, base_width: int = 12) -> Pix2Pix:
-    """Adversarial training: PatchGAN D vs U-Net G + γ-BCE reconstruction."""
+def _train_pix2pix(train_samples: list[GraphSample], config: TrainConfig,
+                   model_config: dict | None = None) -> Pix2Pix:
+    """Adversarial training: PatchGAN D vs U-Net G + γ-BCE reconstruction.
+
+    ``model_config`` knobs: ``channels``, ``base_width``.
+    """
+    mc = _model_knobs(model_config, channels=1, base_width=12)
     rng = np.random.default_rng(config.seed)
     model = Pix2Pix(in_channels=train_samples[0].image.shape[1],
-                    out_channels=channels, base_width=base_width, rng=rng)
+                    out_channels=mc["channels"],
+                    base_width=mc["base_width"], rng=rng)
     opt_g = Adam(model.generator.parameters(), lr=config.lr,
                  betas=(0.5, 0.999))
     opt_d = Adam(model.discriminator.parameters(), lr=config.lr,
@@ -394,9 +450,9 @@ def train_pix2pix(train_samples: list[GraphSample], config: TrainConfig,
     return model
 
 
-def evaluate_pix2pix(model: Pix2Pix, samples: list[GraphSample],
-                     threshold: float = 0.5,
-                     crop: int | None = None) -> dict[str, float]:
+def _evaluate_pix2pix(model: Pix2Pix, samples: list[GraphSample],
+                      threshold: float = 0.5,
+                      crop: int | None = None) -> dict[str, float]:
     """Per-circuit F1/ACC of the generator output (values in %)."""
     model.eval()
     f1s, accs = [], []
@@ -414,16 +470,19 @@ def evaluate_pix2pix(model: Pix2Pix, samples: list[GraphSample],
 # ---------------------------------------------------------------------------
 # Related-work GNN baselines (extension beyond the paper's Table 2)
 # ---------------------------------------------------------------------------
-def train_gridsage(train_samples: list[GraphSample], config: TrainConfig,
-                   channels: int = 1, hidden: int = 32):
+def _train_gridsage(train_samples: list[GraphSample], config: TrainConfig,
+                    model_config: dict | None = None):
     """Train GraphSAGE over the G-cell lattice (geometric-only GNN).
 
-    Shares the block-diagonal mini-batch substrate with LHNN: the lattice
-    adjacency of a batch is the block-diagonal of the per-design lattices.
+    ``model_config`` knobs: ``channels``, ``hidden``.  Shares the
+    block-diagonal mini-batch substrate with LHNN: the lattice adjacency
+    of a batch is the block-diagonal of the per-design lattices.
     """
+    mc = _model_knobs(model_config, channels=1, hidden=32)
     rng = np.random.default_rng(config.seed)
     model = GridSAGE(in_features=train_samples[0].features.shape[1],
-                     hidden=hidden, channels=channels, rng=rng)
+                     hidden=mc["hidden"],
+                     channels=mc["channels"], rng=rng)
     opt = Adam(model.parameters(), lr=config.lr)
     schedule = two_phase_lr(opt, config.epochs, config.lr_final)
     loss_fn = GammaWeightedBCE(gamma=config.gamma)
@@ -445,9 +504,9 @@ def train_gridsage(train_samples: list[GraphSample], config: TrainConfig,
     return model
 
 
-def evaluate_gridsage(model, samples: list[GraphSample],
-                      threshold: float = 0.5,
-                      batch_size: int = 1) -> dict[str, float]:
+def _evaluate_gridsage(model, samples: list[GraphSample],
+                       threshold: float = 0.5,
+                       batch_size: int = 1) -> dict[str, float]:
     """Per-circuit F1/ACC of the GridSAGE baseline (values in %)."""
     model.eval()
     f1s, accs = [], []
@@ -465,8 +524,147 @@ def evaluate_gridsage(model, samples: list[GraphSample],
 
 
 # ---------------------------------------------------------------------------
+# Legacy per-family entry points (thin deprecation shims)
+# ---------------------------------------------------------------------------
+def train_lhnn(train_samples: list[GraphSample], config: TrainConfig,
+               model_config: LHNNConfig | None = None) -> LHNN:
+    """Deprecated shim; see :func:`repro.api.run_experiment`."""
+    _deprecated("train_lhnn", "run_experiment with model.family='lhnn'")
+    mc = asdict(model_config) if model_config is not None else None
+    return _train_lhnn(train_samples, config, mc)
+
+
+def evaluate_lhnn(model: LHNN, samples: list[GraphSample],
+                  threshold: float = 0.5, batch_size: int = 1,
+                  cache: BatchCache | None = None) -> dict[str, float]:
+    """Deprecated shim; see :func:`_evaluate_lhnn` / the family runtime."""
+    _deprecated("evaluate_lhnn", "the 'lhnn' family evaluator runtime")
+    return _evaluate_lhnn(model, samples, threshold=threshold,
+                          batch_size=batch_size, cache=cache)
+
+
+def train_mlp(train_samples: list[GraphSample], config: TrainConfig,
+              channels: int = 1, hidden: int = 32) -> MLPBaseline:
+    """Deprecated shim; see :func:`repro.api.run_experiment`."""
+    _deprecated("train_mlp", "run_experiment with model.family='mlp'")
+    return _train_mlp(train_samples, config,
+                      {"channels": channels, "hidden": hidden})
+
+
+def evaluate_mlp(model: MLPBaseline, samples: list[GraphSample],
+                 threshold: float = 0.5,
+                 batch_size: int = 1) -> dict[str, float]:
+    """Deprecated shim; see :func:`_evaluate_mlp` / the family runtime."""
+    _deprecated("evaluate_mlp", "the 'mlp' family evaluator runtime")
+    return _evaluate_mlp(model, samples, threshold=threshold,
+                         batch_size=batch_size)
+
+
+def train_unet(train_samples: list[GraphSample], config: TrainConfig,
+               channels: int = 1, base_width: int = 12) -> UNet:
+    """Deprecated shim; see :func:`repro.api.run_experiment`."""
+    _deprecated("train_unet", "run_experiment with model.family='unet'")
+    return _train_unet(train_samples, config,
+                       {"channels": channels, "base_width": base_width})
+
+
+def evaluate_unet(model: UNet, samples: list[GraphSample],
+                  threshold: float = 0.5,
+                  crop: int | None = None) -> dict[str, float]:
+    """Deprecated shim; see :func:`_evaluate_unet` / the family runtime."""
+    _deprecated("evaluate_unet", "the 'unet' family evaluator runtime")
+    return _evaluate_unet(model, samples, threshold=threshold, crop=crop)
+
+
+def train_pix2pix(train_samples: list[GraphSample], config: TrainConfig,
+                  channels: int = 1, base_width: int = 12) -> Pix2Pix:
+    """Deprecated shim; see :func:`repro.api.run_experiment`."""
+    _deprecated("train_pix2pix", "run_experiment with model.family='pix2pix'")
+    return _train_pix2pix(train_samples, config,
+                          {"channels": channels, "base_width": base_width})
+
+
+def evaluate_pix2pix(model: Pix2Pix, samples: list[GraphSample],
+                     threshold: float = 0.5,
+                     crop: int | None = None) -> dict[str, float]:
+    """Deprecated shim; see :func:`_evaluate_pix2pix` / the family runtime."""
+    _deprecated("evaluate_pix2pix", "the 'pix2pix' family evaluator runtime")
+    return _evaluate_pix2pix(model, samples, threshold=threshold, crop=crop)
+
+
+def train_gridsage(train_samples: list[GraphSample], config: TrainConfig,
+                   channels: int = 1, hidden: int = 32):
+    """Deprecated shim; see :func:`repro.api.run_experiment`."""
+    _deprecated("train_gridsage",
+                "run_experiment with model.family='gridsage'")
+    return _train_gridsage(train_samples, config,
+                           {"channels": channels, "hidden": hidden})
+
+
+def evaluate_gridsage(model, samples: list[GraphSample],
+                      threshold: float = 0.5,
+                      batch_size: int = 1) -> dict[str, float]:
+    """Deprecated shim; see :func:`_evaluate_gridsage` / the runtime."""
+    _deprecated("evaluate_gridsage", "the 'gridsage' family evaluator runtime")
+    return _evaluate_gridsage(model, samples, threshold=threshold,
+                              batch_size=batch_size)
+
+
+# ---------------------------------------------------------------------------
 # Seeded repetition
 # ---------------------------------------------------------------------------
 def seeded_runs(run_fn, seeds: list[int]) -> MetricSummary:
     """Repeat ``run_fn(seed) -> {'f1', 'acc'}`` and summarise mean ± std."""
     return summarize_runs([run_fn(seed) for seed in seeds])
+
+
+# ---------------------------------------------------------------------------
+# Experiment runtimes: register trainer/evaluator/default-config per family
+# ---------------------------------------------------------------------------
+def _graph_evaluator(evaluate):
+    """Adapter: graph/tabular families evaluate at config batch size."""
+    def run(model, samples, config: TrainConfig):
+        return evaluate(model, samples, threshold=config.threshold,
+                        batch_size=config.batch_size)
+    return run
+
+
+def _image_evaluator(evaluate):
+    """Adapter: CNN families tile evaluation exactly as trained."""
+    def run(model, samples, config: TrainConfig):
+        return evaluate(model, samples, threshold=config.threshold,
+                        crop=config.crop)
+    return run
+
+
+def _attach_runtimes() -> None:
+    # The registry module imports only models + nn, so this import is
+    # cycle-free; it runs at the bottom of this module so the serving
+    # engine (imported via repro.serve) can already see predict_probs.
+    from ..serve import registry
+
+    # LHNN's knob namespace is the LHNNConfig fields themselves (minus
+    # ``channels``, which every family takes from model.channels), so
+    # the registry default_config doubles as the known-knob listing the
+    # experiment runner validates model.params against.
+    from dataclasses import asdict as _asdict
+    lhnn_defaults = {k: v for k, v in _asdict(LHNNConfig()).items()
+                     if k != "channels"}
+    registry.attach_runtime("lhnn", trainer=_train_lhnn,
+                            evaluator=_graph_evaluator(_evaluate_lhnn),
+                            default_config=lhnn_defaults)
+    registry.attach_runtime("mlp", trainer=_train_mlp,
+                            evaluator=_graph_evaluator(_evaluate_mlp),
+                            default_config={"hidden": 32})
+    registry.attach_runtime("gridsage", trainer=_train_gridsage,
+                            evaluator=_graph_evaluator(_evaluate_gridsage),
+                            default_config={"hidden": 32})
+    registry.attach_runtime("unet", trainer=_train_unet,
+                            evaluator=_image_evaluator(_evaluate_unet),
+                            default_config={"base_width": 12})
+    registry.attach_runtime("pix2pix", trainer=_train_pix2pix,
+                            evaluator=_image_evaluator(_evaluate_pix2pix),
+                            default_config={"base_width": 12})
+
+
+_attach_runtimes()

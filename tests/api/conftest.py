@@ -1,0 +1,17 @@
+"""API-test fixtures.
+
+``run_experiment`` intentionally sets the process-wide compute dtype
+(exactly like the CLI train path); restore it around every test here so
+the dtype-policy suites still see the library's float64 default.
+"""
+
+import pytest
+
+from repro.nn import get_default_dtype, set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def restore_default_dtype():
+    prev = get_default_dtype()
+    yield
+    set_default_dtype(prev)

@@ -1,0 +1,123 @@
+"""CLI round trip per family: train --config/--model → evaluate → predict.
+
+The whole matrix drives a 2-design superblue workload at a small scale
+(the same trick as ``tests/test_cli.py``); the stage cache is shared
+across the module, so place-and-route runs once for all five families.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+
+FAMILIES = ("lhnn", "mlp", "gridsage", "unet", "pix2pix")
+
+#: Tiny per-family construction knobs (see FAMILY_PARAMS in
+#: test_experiment.py) so each 1-epoch CLI training stays fast.
+FAMILY_SET = {
+    "lhnn": ["--set", "model.params.hidden=8"],
+    "mlp": ["--set", "model.params.hidden=8"],
+    "gridsage": ["--set", "model.params.hidden=8"],
+    "unet": ["--set", "model.params.base_width=4"],
+    "pix2pix": ["--set", "model.params.base_width=4"],
+}
+
+
+@pytest.fixture(autouse=True)
+def tiny_superblue(monkeypatch, tmp_path_factory):
+    """Trim the superblue suite to 2 designs and share one stage cache."""
+    import repro.pipeline as pl
+    orig = pl.superblue_suite
+    monkeypatch.setattr(
+        pl, "superblue_suite",
+        lambda scale, base_seed=2022: orig(scale=scale,
+                                           base_seed=base_seed)[:2])
+    cache = tmp_path_factory.getbasetemp() / "roundtrip-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_train_evaluate_predict_round_trip(family, tmp_path, capsys):
+    ckpt = str(tmp_path / f"{family}.npz")
+    rc = cli.main(["train", "--model", family, "--suite", "superblue",
+                   "--scale", "0.15", "--epochs", "1",
+                   "--out", ckpt,
+                   "--set", f"output.artifacts_dir={tmp_path}",
+                   *FAMILY_SET[family]])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "held-out F1" in out
+    assert ckpt in out
+
+    # The manifest landed next to the checkpoint and validates.
+    from repro.api import validate_result_manifest
+    manifest_path = tmp_path / "experiments" / f"{family}-superblue.json"
+    manifest = validate_result_manifest(json.load(open(manifest_path)))
+    assert manifest["experiment"]["model"]["family"] == family
+    assert manifest["experiment"]["workload"]["scale"] == 0.15
+    # CLI runs prepare their own workload, so the manifest is replayable.
+    assert manifest["workload"]["dataset_injected"] is False
+
+    rc = cli.main(["evaluate", "--checkpoint", ckpt, "--suite", "superblue",
+                   "--scale", "0.15"])
+    assert rc == 0
+    assert "mean F1" in capsys.readouterr().out
+
+    rc = cli.main(["predict", "--checkpoint", ckpt,
+                   "--design", "superblue1", "--suite", "superblue",
+                   "--scale", "0.15"])
+    assert rc == 0
+    assert "congestion rate" in capsys.readouterr().out
+
+
+def test_train_from_config_file(tmp_path, capsys):
+    """`train --config spec.toml` + flag + --set precedence."""
+    spec_path = tmp_path / "exp.toml"
+    spec_path.write_text(
+        "[model]\nfamily = 'mlp'\n"
+        "[model.params]\nhidden = 8\n"
+        "[train]\nepochs = 3\n"
+        "[workload]\nsuite = 'superblue'\nscale = 0.15\n"
+        f"[output]\nartifacts_dir = '{tmp_path}'\n")
+    rc = cli.main(["train", "--config", str(spec_path),
+                   "--epochs", "1",                    # flag beats file
+                   "--set", "train.seed=5"])           # --set beats both
+    assert rc == 0
+    manifest = json.load(open(tmp_path / "experiments" /
+                              "mlp-superblue.json"))
+    assert manifest["experiment"]["train"]["epochs"] == 1
+    assert manifest["experiment"]["train"]["seed"] == 5
+    assert manifest["experiment"]["model"]["params"]["hidden"] == 8
+
+
+def test_experiment_subcommand_end_to_end(tmp_path, capsys):
+    spec_path = tmp_path / "exp.toml"
+    spec_path.write_text(
+        "[model]\nfamily = 'gridsage'\n"
+        "[model.params]\nhidden = 8\n"
+        "[train]\nepochs = 1\n"
+        "[workload]\nsuite = 'superblue'\nscale = 0.15\n"
+        f"[output]\nartifacts_dir = '{tmp_path}'\nname = 'smoke-gs'\n")
+    rc = cli.main(["experiment", "--config", str(spec_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "experiment smoke-gs" in out
+    assert "result manifest written to" in out
+    from repro.api import validate_result_manifest
+    validate_result_manifest(
+        json.load(open(tmp_path / "experiments" / "smoke-gs.json")))
+
+
+def test_stats_takes_suite_and_scale(capsys):
+    rc = cli.main(["stats", "--suite", "superblue", "--scale", "0.15"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Dataset information" in out
+    assert "Per-design congestion rates" in out
+
+
+def test_evaluate_unknown_suite_fails_cleanly(tmp_path, capsys):
+    rc = cli.main(["stats", "--suite", "nope"])
+    assert rc == 2
+    assert "unknown workload" in capsys.readouterr().err

@@ -40,6 +40,25 @@ class TestSparseMatrix:
         assert np.allclose(degree_vector(m, axis=1), [3, 1])
         assert np.allclose(degree_vector(m, axis=0), [2, 1, 1])
 
+    def test_pickle_round_trip_rebuilds_memos(self):
+        import pickle
+        m = SparseMatrix(sp.random(5, 3, density=0.5, random_state=0))
+        m.T  # populate the (cyclic) transpose memo before pickling
+        m.as_dtype(np.float32)
+        restored = pickle.loads(pickle.dumps(m))
+        assert np.allclose(restored.toarray(), m.toarray())
+        assert restored.T.shape == (3, 5)
+        assert restored.as_dtype(np.float32).dtype == np.float32
+
+    def test_unpickle_pre_memo_state(self):
+        """Stage-cache blobs pickled before the transpose/dtype memo
+        attributes existed must restore to fully working operators."""
+        m = SparseMatrix(np.eye(3))
+        legacy = SparseMatrix.__new__(SparseMatrix)
+        legacy.__setstate__({"mat": m.mat})     # pre-PR4 pickle payload
+        assert legacy.T.shape == (3, 3)
+        assert legacy.as_dtype(np.float32).dtype == np.float32
+
 
 class TestRowNormalize:
     def test_rows_sum_to_one(self, rng):

@@ -11,10 +11,50 @@ class TestParser:
         with pytest.raises(SystemExit):
             cli._build_parser().parse_args([])
 
-    def test_train_defaults(self):
+    def test_train_flags_default_to_unset(self):
+        """Dedicated flags default to None so a --config file wins unless
+        the user explicitly passes the flag (the spec holds defaults)."""
         args = cli._build_parser().parse_args(["train"])
-        assert args.epochs == 20
+        assert args.epochs is None
+        assert args.model is None
+        assert args.suite is None
         assert not args.duo
+
+    def test_train_resolved_spec_defaults(self):
+        args = cli._build_parser().parse_args(["train"])
+        spec = cli._resolve_spec(args, cli._train_flag_sets(args))
+        assert spec.model.family == "lhnn"
+        assert spec.workload.suite == "superblue"
+        assert spec.train.epochs == 20
+        assert spec.compute.dtype == "float32"
+
+    def test_train_flags_map_to_spec(self):
+        args = cli._build_parser().parse_args(
+            ["train", "--model", "unet", "--suite", "hotspot",
+             "--epochs", "3", "--duo", "--dtype", "float64",
+             "--batch-size", "2", "--out", "x.npz",
+             "--set", "model.params.base_width=4"])
+        spec = cli._resolve_spec(args, cli._train_flag_sets(args))
+        assert spec.model.family == "unet"
+        assert spec.model.channels == 2
+        assert spec.model.params == {"base_width": 4}
+        assert spec.workload.suite == "hotspot"
+        assert spec.train.epochs == 3
+        assert spec.train.batch_size == 2
+        assert spec.compute.dtype == "float64"
+        assert spec.output.checkpoint == "x.npz"
+
+    def test_train_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            cli._build_parser().parse_args(["train", "--model", "resnet"])
+
+    def test_model_choices_match_registry(self):
+        from repro.serve.registry import list_families
+        assert sorted(cli.MODEL_FAMILIES) == list_families()
+
+    def test_experiment_requires_config(self):
+        with pytest.raises(SystemExit):
+            cli._build_parser().parse_args(["experiment"])
 
     def test_predict_requires_args(self):
         with pytest.raises(SystemExit):
@@ -109,24 +149,31 @@ class TestInfo:
 
 
 class TestModelRestore:
+    """The old cli._restore_model shim is gone; the registry is the one
+    restore entry point every subcommand goes through."""
+
+    def test_legacy_shim_removed(self):
+        assert not hasattr(cli, "_restore_model")
+
     def test_restore_uni_and_duo(self, tmp_path):
         from repro.models.lhnn import LHNN, LHNNConfig
         from repro.nn.serialize import save_checkpoint
+        from repro.serve.registry import restore_model
         for channels in (1, 2):
             model = LHNN(LHNNConfig(channels=channels),
                          np.random.default_rng(0))
             path = save_checkpoint(model, str(tmp_path / f"c{channels}.npz"),
                                    metadata={"channels": channels})
-            restored, meta = cli._restore_model(path)
+            restored, meta = restore_model(path)
             assert restored.config.channels == channels
             assert meta["channels"] == channels
 
     def test_restore_registry_checkpoint(self, tmp_path):
         from repro.models.related import GridSAGE
-        from repro.serve.registry import save_model
+        from repro.serve.registry import restore_model, save_model
         model = GridSAGE(hidden=8, channels=2, rng=np.random.default_rng(1))
         path = save_model(model, str(tmp_path / "gs.npz"))
-        restored, meta = cli._restore_model(path)
+        restored, meta = restore_model(path)
         assert isinstance(restored, GridSAGE)
         assert restored.channels == 2
         assert meta["model"]["family"] == "gridsage"
