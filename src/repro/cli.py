@@ -144,8 +144,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="number of designs for the scenario families")
 
     p = sub.add_parser("predict", help="render prediction vs truth for one "
-                       "design (served through the inference engine)")
-    p.add_argument("--checkpoint", required=True)
+                       "design (served through the inference engine, or a "
+                       "running server via --port)")
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint to serve from in-process "
+                        "(required unless --port targets a running server)")
     p.add_argument("--design", required=True,
                    help="design name, e.g. superblue5")
     p.add_argument("--suite", default="superblue",
@@ -155,6 +158,15 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="congestion direction(s): 'v' needs a duo-channel "
                         "checkpoint, 'both' renders every channel the "
                         "checkpoint provides (H only for uni-channel)")
+    p.add_argument("--port", type=int, default=None,
+                   help="query a running `repro serve` server on this TCP "
+                        "port instead of restoring a checkpoint locally")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="server host for --port mode")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="connect/read timeout in seconds for --port mode "
+                        "(bounded retries with exponential backoff; a dead "
+                        "server errors out instead of blocking forever)")
 
     p = sub.add_parser("serve", help="long-lived batched inference loop "
                        "(JSON lines on stdin/stdout, or --port for TCP)")
@@ -174,6 +186,23 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="serve at this compute dtype regardless of how "
                         "the checkpoint was trained (default: the "
                         "checkpoint's recorded dtype)")
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   help="run the supervised multi-worker asyncio service "
+                        "with N engine worker processes (requires --port; "
+                        "default: the single-process engine loop)")
+    p.add_argument("--max-queue", type=_positive_int, default=256,
+                   dest="max_queue",
+                   help="service mode: max admitted-but-unanswered "
+                        "requests before backpressure replies (global; "
+                        "per-connection cap is a quarter of this)")
+    p.add_argument("--flush-deadline-ms", type=float, default=25.0,
+                   dest="flush_deadline_ms",
+                   help="service mode: auto-flush latency target — a "
+                        "buffered warm batch dispatches after this long "
+                        "even if the size trigger hasn't fired")
+    p.add_argument("--admin-token", default=None, dest="admin_token",
+                   help="service mode: require this token on reload/"
+                        "shutdown ops (default: admin ops are open)")
 
     sub.add_parser("info", help="print version and dependency info")
     return parser
@@ -366,12 +395,62 @@ def cmd_evaluate(args) -> int:
 _CHANNEL_TITLES = {"h": "H congestion", "v": "V congestion"}
 
 
-def cmd_predict(args) -> int:
+def _render_prediction(name: str, family: str, grids: dict,
+                       truth: dict | None, rates: dict) -> None:
+    """Render per-channel prediction panels; shared by both predict paths."""
     from repro.eval import comparison_panel
+    for channel, grid in grids.items():
+        grid = np.asarray(grid)
+        if truth is None:
+            from repro.eval.visualize import ascii_heatmap
+            print(f"{name} ({_CHANNEL_TITLES[channel]}, "
+                  f"predicted by {family})")
+            print(ascii_heatmap(grid))
+        else:
+            print(comparison_panel(
+                np.asarray(truth[channel]), {family: grid},
+                title=f"{name} ({_CHANNEL_TITLES[channel]})"))
+        print(f"predicted {channel.upper()}-congestion rate: "
+              f"{100 * rates[channel]:.2f} %\n")
+
+
+def _remote_predict(args) -> int:
+    """Serve one prediction through a running ``repro serve`` server."""
+    from repro.serve import ServeClient, ServeError
+    try:
+        with ServeClient.connect(args.port, host=args.host,
+                                 timeout=args.timeout) as client:
+            info = client.server_info()
+            client.predict(design=args.design, suite=args.suite,
+                           channel=args.channel)
+            replies = client.flush()
+    except ServeError as exc:
+        print(f"predict failed: {exc}", file=sys.stderr)
+        return 2
+    failed = [r for r in replies if not r.get("ok", False)]
+    if failed or not replies:
+        error = failed[0].get("error", "no reply") if failed else "no reply"
+        print(f"predict failed: {error}", file=sys.stderr)
+        return 2
+    result = replies[0]["result"]
+    label = (info.get("name", "server") + " "
+             + info.get("mode", "")).strip().upper()
+    _render_prediction(result["name"], label, result["grids"],
+                       result.get("truth"), result["predicted_rate"])
+    return 0
+
+
+def cmd_predict(args) -> int:
     from repro.nn.serialize import CheckpointError
     from repro.pipeline import PipelineConfig
     from repro.serve import (DesignResolver, InferenceEngine,
                              PredictRequest, ServeConfig, restore_model)
+    if args.port is not None:
+        return _remote_predict(args)
+    if args.checkpoint is None:
+        print("predict failed: --checkpoint is required unless --port "
+              "targets a running server", file=sys.stderr)
+        return 2
     try:
         model, _ = restore_model(args.checkpoint)
     except CheckpointError as exc:
@@ -388,20 +467,8 @@ def cmd_predict(args) -> int:
     except ValueError as exc:
         print(f"predict failed: {exc}", file=sys.stderr)
         return 2
-    family = engine.family.upper()
-    for channel, grid in result.grids.items():
-        if result.truth is None:
-            from repro.eval.visualize import ascii_heatmap
-            print(f"{result.name} ({_CHANNEL_TITLES[channel]}, "
-                  f"predicted by {family})")
-            print(ascii_heatmap(grid))
-        else:
-            print(comparison_panel(
-                result.truth[channel], {family: grid},
-                title=f"{result.name} ({_CHANNEL_TITLES[channel]})"))
-        rate = result.predicted_rate[channel]
-        print(f"predicted {channel.upper()}-congestion rate: "
-              f"{100 * rate:.2f} %\n")
+    _render_prediction(result.name, engine.family.upper(), result.grids,
+                       result.truth, result.predicted_rate)
     return 0
 
 
@@ -410,6 +477,8 @@ def cmd_serve(args) -> int:
     from repro.pipeline import PipelineConfig
     from repro.serve import (DesignResolver, InferenceEngine, ServeConfig,
                              restore_model, serve_forever, serve_socket)
+    if args.workers is not None:
+        return _serve_service(args)
     try:
         model, _ = restore_model(args.checkpoint, dtype=args.dtype)
     except CheckpointError as exc:
@@ -429,6 +498,38 @@ def cmd_serve(args) -> int:
                      ready_callback=lambda p: print(
                          f"[serve] listening on {args.host}:{p}",
                          file=sys.stderr))
+    return 0
+
+
+def _serve_service(args) -> int:
+    """Run the supervised multi-worker asyncio service (``--workers N``)."""
+    import asyncio
+
+    from repro.pipeline import PipelineConfig
+    from repro.serve import ServeConfig, ServeService, ServiceConfig
+    if args.port is None:
+        print("serve failed: --workers requires --port (the service only "
+              "speaks TCP)", file=sys.stderr)
+        return 2
+    service = ServeService(
+        checkpoint=args.checkpoint,
+        serve=ServeConfig(pipeline=PipelineConfig(scale=args.scale),
+                          max_batch=args.max_batch),
+        config=ServiceConfig(workers=args.workers,
+                             max_batch=args.max_batch,
+                             max_queue=args.max_queue,
+                             max_queue_per_conn=max(1, args.max_queue // 4),
+                             flush_deadline_ms=args.flush_deadline_ms,
+                             admin_token=args.admin_token),
+        default_suite=args.suite, dtype=args.dtype)
+    try:
+        asyncio.run(service.run(
+            args.host, args.port,
+            ready_callback=lambda p: print(
+                f"[serve] service: {args.workers} worker(s) on "
+                f"{args.host}:{p}", file=sys.stderr)))
+    except KeyboardInterrupt:
+        pass
     return 0
 
 

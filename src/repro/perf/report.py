@@ -21,11 +21,16 @@ import os
 import platform
 from typing import Mapping
 
-__all__ = ["BENCH_SCHEMA", "speedup_entry", "write_bench_report",
-           "load_bench_report"]
+__all__ = ["BENCH_SCHEMA", "SERVE_BENCH_SCHEMA", "speedup_entry",
+           "write_bench_report", "load_bench_report",
+           "write_serve_bench_report", "load_serve_bench_report"]
 
 #: Schema tag of the report format; bump when the layout changes.
 BENCH_SCHEMA = "repro-bench-nn-v1"
+
+#: Schema tag of the serving-load report (``BENCH_serve.json``): entries
+#: carry requests/s and p50/p99 latency percentiles per load shape.
+SERVE_BENCH_SCHEMA = "repro-bench-serve-v1"
 
 
 def speedup_entry(float32_s: float, float64_s: float,
@@ -62,10 +67,16 @@ def write_bench_report(path: str, entries: Mapping[str, dict],
     context:
         Optional free-form machine context (suite sizes, rounds ...).
     """
+    return _write_report(path, BENCH_SCHEMA, entries, perf_ops, context)
+
+
+def _write_report(path: str, schema: str, entries: Mapping[str, dict],
+                  perf_ops: dict | None = None,
+                  context: dict | None = None) -> str:
     if not entries:
         raise ValueError("refusing to write an empty benchmark report")
     report = {
-        "schema": BENCH_SCHEMA,
+        "schema": schema,
         "platform": {
             "python": platform.python_version(),
             "machine": platform.machine(),
@@ -93,11 +104,41 @@ def load_bench_report(path: str) -> dict:
     file — the CI smoke test calls this, so a reporter regression fails
     tier-1 instead of silently producing an undiffable artifact.
     """
+    return _load_report(path, BENCH_SCHEMA,
+                        numeric_suffixes=("_s", "speedup_vs_float64"))
+
+
+def write_serve_bench_report(path: str, entries: Mapping[str, dict],
+                             context: dict | None = None) -> str:
+    """Write the sustained-load serving report (``BENCH_serve.json``).
+
+    Entries come from the serving benches: per load shape, the observed
+    ``requests_per_s`` and latency percentiles (``p50_ms``/``p99_ms``),
+    plus whatever shape parameters (workers, request counts) make the
+    number interpretable.  Same envelope and atomic-write discipline as
+    the ``BENCH_nn.json`` trajectory, different schema tag.
+    """
+    return _write_report(path, SERVE_BENCH_SCHEMA, entries, None, context)
+
+
+def load_serve_bench_report(path: str) -> dict:
+    """Read and validate a ``BENCH_serve.json`` report.
+
+    The nightly CI job calls this after the sustained-load bench, so an
+    invalid or empty artifact fails the job instead of uploading noise.
+    """
+    return _load_report(
+        path, SERVE_BENCH_SCHEMA,
+        numeric_suffixes=("_s", "_ms", "requests_per_s", "speedup"))
+
+
+def _load_report(path: str, schema: str,
+                 numeric_suffixes: tuple[str, ...]) -> dict:
     with open(path) as handle:
         report = json.load(handle)
-    if report.get("schema") != BENCH_SCHEMA:
+    if report.get("schema") != schema:
         raise ValueError(f"{path}: unknown bench schema "
-                         f"{report.get('schema')!r}")
+                         f"{report.get('schema')!r} (expected {schema!r})")
     entries = report.get("entries")
     if not isinstance(entries, dict) or not entries:
         raise ValueError(f"{path}: report has no entries")
@@ -105,7 +146,7 @@ def load_bench_report(path: str) -> dict:
         if not isinstance(entry, dict):
             raise ValueError(f"{path}: entry {name!r} is not an object")
         for key, value in entry.items():
-            if key.endswith(("_s", "speedup_vs_float64")) \
+            if key.endswith(numeric_suffixes) \
                     and not isinstance(value, (int, float)):
                 raise ValueError(f"{path}: entry {name!r} field {key!r} "
                                  f"is not numeric")

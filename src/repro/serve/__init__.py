@@ -23,21 +23,31 @@ predict`` (one-shot through the same engine), or in Python::
 """
 
 from .cache import SampleCache
-from .client import LocalClient, ServeClient, ServeError
+from .client import AsyncServeClient, LocalClient, ServeClient, ServeError
 from .engine import (InferenceEngine, PredictRequest, PredictResult,
                      ServeConfig)
 from .registry import (ModelFamily, attach_runtime, build_model, family_of,
                        get_family, get_runtime, list_families, model_spec,
                        output_channels, register_family, restore_model,
                        save_model)
-from .server import DesignResolver, serve_forever, serve_socket
+from .router import Route, Router, routing_key
+from .server import (PROTOCOL_VERSION, DesignResolver, FlushDeliveryError,
+                     protocol_version_error, serve_forever, serve_socket,
+                     server_identity)
+from .service import ServeService, ServiceConfig
+from .supervisor import Supervisor, WorkerCrashed, WorkerError, WorkerSpec
 
 __all__ = [
     "SampleCache",
-    "LocalClient", "ServeClient", "ServeError",
+    "AsyncServeClient", "LocalClient", "ServeClient", "ServeError",
     "InferenceEngine", "PredictRequest", "PredictResult", "ServeConfig",
     "ModelFamily", "attach_runtime", "build_model", "family_of",
     "get_family", "get_runtime", "list_families", "model_spec",
     "output_channels", "register_family", "restore_model", "save_model",
-    "DesignResolver", "serve_forever", "serve_socket",
+    "DesignResolver", "FlushDeliveryError", "PROTOCOL_VERSION",
+    "protocol_version_error", "serve_forever", "serve_socket",
+    "server_identity",
+    "Route", "Router", "routing_key",
+    "ServeService", "ServiceConfig",
+    "Supervisor", "WorkerCrashed", "WorkerError", "WorkerSpec",
 ]

@@ -21,12 +21,21 @@ Replies always carry ``"ok"``; predict acks and results echo ``"id"``.
 Queued requests are only *answered* at flush — that is the whole point:
 the engine composes everything queued into as few block-diagonal forward
 passes as possible.
+
+Version negotiation: ``ping`` and ``stats`` replies carry a ``server``
+identity block (name, package version, ``protocol_version``, serving
+mode), and any request that *declares* a ``protocol_version`` newer than
+the server's is rejected per-request — an old server never silently
+misinterprets a newer client's ops.  The multi-worker asyncio front end
+(:mod:`repro.serve.service`) speaks a superset of this protocol; see
+``docs/serving.md`` for the full op table.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import sys
 
 from ..circuit.design import Design
 from ..circuit.generator import DesignSpec, generate_design
@@ -34,7 +43,73 @@ from ..pipeline import PipelineConfig
 from ..pipeline.workloads import load_workload
 from .engine import InferenceEngine, PredictRequest
 
-__all__ = ["DesignResolver", "serve_forever", "serve_socket"]
+__all__ = ["DesignResolver", "FlushDeliveryError", "PROTOCOL_VERSION",
+           "protocol_version_error", "serve_forever", "serve_socket",
+           "server_identity"]
+
+#: Version of the JSON-lines protocol this server speaks.  Bumped when
+#: ops or reply shapes change incompatibly: v1 was the PR 3 single-engine
+#: protocol (predict/flush/stats/ping/shutdown); v2 added the server
+#: identity block, per-request version rejection and the service-mode
+#: ops (reload, drain semantics, backpressure replies).
+PROTOCOL_VERSION = 2
+
+#: Maximum accepted request-line length.  A line past this is answered
+#: with an error instead of being buffered without bound — a malformed
+#: (or malicious) client must not balloon server memory.
+MAX_LINE_BYTES = 1 << 20
+
+
+def server_identity(mode: str) -> dict:
+    """The identity block ``ping``/``stats`` replies carry.
+
+    ``mode`` distinguishes the single-process engine loop (``"engine"``)
+    from the supervised multi-worker service (``"service"``).
+    """
+    from .. import __version__
+    return {"name": "repro-serve", "version": __version__,
+            "protocol_version": PROTOCOL_VERSION, "mode": mode}
+
+
+def protocol_version_error(payload: dict) -> str | None:
+    """Why a request's declared ``protocol_version`` is unacceptable.
+
+    Returns None when the request declares no version (all versions of
+    the protocol are accepted implicitly — ops unknown to this server
+    still get per-op errors) or an acceptable one; otherwise the
+    rejection message.
+    """
+    declared = payload.get("protocol_version")
+    if declared is None:
+        return None
+    if not isinstance(declared, int) or isinstance(declared, bool):
+        return f"protocol_version must be an integer, got {declared!r}"
+    if declared > PROTOCOL_VERSION:
+        return (f"request declares protocol version {declared}, newer "
+                f"than this server's {PROTOCOL_VERSION}; upgrade the "
+                f"server or let the client downgrade")
+    return None
+
+
+class FlushDeliveryError(RuntimeError):
+    """The writer died while flush results were being delivered.
+
+    By the time results exist the engine state is already mutated (the
+    queue was consumed), so losing the pipe mid-delivery must not lose
+    the *accounting* too: the exception reports how many replies made it
+    out and how many computed results were discarded, and carries the
+    undelivered reply payloads for the front end to log or spool.
+    """
+
+    def __init__(self, delivered: int, discarded: int,
+                 undelivered: list[dict]):
+        super().__init__(
+            f"client pipe died mid-flush: {delivered} repl"
+            f"{'y' if delivered == 1 else 'ies'} delivered, "
+            f"{discarded} computed result(s) discarded")
+        self.delivered = delivered
+        self.discarded = discarded
+        self.undelivered = undelivered
 
 
 class DesignResolver:
@@ -89,14 +164,25 @@ def _send(writer, payload: dict) -> None:
 
 
 def serve_forever(engine: InferenceEngine, resolver: DesignResolver,
-                  reader, writer) -> bool:
+                  reader, writer,
+                  max_line_bytes: int = MAX_LINE_BYTES) -> bool:
     """Run the line protocol until EOF or shutdown.
 
     ``reader`` is any iterable of text lines, ``writer`` any object with
     ``write``/``flush``.  Returns True when the loop ended on an explicit
     ``shutdown`` op (the socket front end uses this to stop accepting).
+
+    Malformed traffic (bad JSON, non-object payloads, unknown ops or
+    channels, oversized lines, too-new protocol versions) is answered
+    with per-request errors and never ends the loop; only EOF, shutdown
+    or a dead writer do.
     """
     for line in reader:
+        if len(line) > max_line_bytes:
+            _send(writer, {"ok": False,
+                           "error": f"request line exceeds "
+                                    f"{max_line_bytes} bytes"})
+            continue
         line = line.strip()
         if not line:
             continue
@@ -111,6 +197,11 @@ def serve_forever(engine: InferenceEngine, resolver: DesignResolver,
             continue
         op = payload.get("op", "predict")
         request_id = payload.get("id")
+        version_error = protocol_version_error(payload)
+        if version_error is not None:
+            _send(writer, {"ok": False, "id": request_id,
+                           "error": version_error})
+            continue
         if op == "predict":
             try:
                 design = resolver.resolve(payload)
@@ -125,16 +216,31 @@ def serve_forever(engine: InferenceEngine, resolver: DesignResolver,
             _send(writer, {"ok": True, "id": request_id,
                            "status": "queued", "pending": pending})
         elif op == "flush":
+            # Build every reply *before* writing any: the engine queue
+            # is consumed by flush(), so a writer that dies mid-delivery
+            # must not silently swallow the remaining computed results —
+            # the raised error accounts for delivered vs discarded and
+            # carries the undelivered payloads.
             results = engine.flush()
-            for result in results:
-                _send(writer, {"ok": True, "id": result.request_id,
-                               "result": result.to_json()})
-            _send(writer, {"ok": True, "status": "flushed",
-                           "count": len(results)})
+            replies = [{"ok": True, "id": result.request_id,
+                        "result": result.to_json()} for result in results]
+            replies.append({"ok": True, "status": "flushed",
+                            "count": len(results)})
+            delivered = 0
+            try:
+                for reply in replies:
+                    _send(writer, reply)
+                    delivered += 1
+            except (OSError, ValueError) as exc:
+                raise FlushDeliveryError(
+                    delivered, len(results) - min(delivered, len(results)),
+                    replies[delivered:]) from exc
         elif op == "stats":
-            _send(writer, {"ok": True, "stats": engine.stats()})
+            _send(writer, {"ok": True, "stats": engine.stats(),
+                           "server": server_identity("engine")})
         elif op == "ping":
-            _send(writer, {"ok": True, "status": "pong"})
+            _send(writer, {"ok": True, "status": "pong",
+                           "server": server_identity("engine")})
         elif op == "shutdown":
             _send(writer, {"ok": True, "status": "shutting down"})
             return True
@@ -171,6 +277,11 @@ def serve_socket(engine: InferenceEngine, resolver: DesignResolver,
                         conn.makefile("w", encoding="utf-8") as writer:
                     if serve_forever(engine, resolver, reader, writer):
                         return
+            except FlushDeliveryError as exc:
+                # Client died while its flush results were being
+                # delivered: the work is done and gone, so at least the
+                # accounting survives in the server log.
+                print(f"[serve] {exc}", file=sys.stderr)
             except (OSError, ValueError):
                 # Client vanished mid-session (reply hit a closed pipe);
                 # only their session dies — keep accepting.

@@ -1,0 +1,131 @@
+"""Tests for client-side robustness: connect retry, timeouts, push demux."""
+
+import io
+import json
+import socket as socketlib
+import threading
+
+import pytest
+
+from repro.serve import ServeClient, ServeError
+from repro.serve.client import _is_push
+
+
+def free_port() -> int:
+    with socketlib.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class ScriptedReader:
+    """A reader that replays canned lines, then EOF."""
+
+    def __init__(self, lines):
+        self._lines = [json.dumps(line) + "\n" for line in lines]
+
+    def readline(self):
+        return self._lines.pop(0) if self._lines else ""
+
+
+class TestConnectRetry:
+    def test_dead_server_fails_after_bounded_attempts(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+        port = free_port()  # nothing listens here
+        with pytest.raises(ServeError, match="after 3 attempt"):
+            ServeClient.connect(port, timeout=0.5, retries=2, backoff=0.1)
+        assert sleeps == [0.1, 0.2]  # exponential backoff between tries
+
+    def test_zero_retries_is_a_single_attempt(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+        with pytest.raises(ServeError, match="after 1 attempt"):
+            ServeClient.connect(free_port(), timeout=0.5, retries=0)
+        assert sleeps == []
+
+    def test_connect_succeeds_on_a_later_attempt(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.client.time.sleep", lambda s: None)
+        attempts = []
+        real_create = socketlib.create_connection
+
+        def flaky(address, timeout=None):
+            attempts.append(address)
+            if len(attempts) < 3:
+                raise ConnectionRefusedError("not yet")
+            return real_create(address, timeout=timeout)
+
+        monkeypatch.setattr("repro.serve.client.socket.create_connection",
+                            flaky)
+        with socketlib.socket() as server:
+            server.bind(("127.0.0.1", 0))
+            server.listen(1)
+            port = server.getsockname()[1]
+            client = ServeClient.connect(port, timeout=5.0, retries=2)
+            client.close()
+        assert len(attempts) == 3
+
+
+class TestReadTimeout:
+    def test_read_timeout_becomes_serve_error(self):
+        class StalledReader:
+            def readline(self):
+                raise TimeoutError("timed out")
+
+        client = ServeClient(StalledReader(), io.StringIO())
+        client._timeout = 0.5
+        with pytest.raises(ServeError, match="timed out after 0.5s"):
+            client.ping()
+
+    def test_real_socket_read_timeout(self):
+        # A server that accepts but never replies must not block forever.
+        server = socketlib.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+        accepted = []
+        thread = threading.Thread(
+            target=lambda: accepted.append(server.accept()), daemon=True)
+        thread.start()
+        client = ServeClient.connect(port, timeout=0.3, retries=0)
+        try:
+            with pytest.raises(ServeError, match="timed out"):
+                client.ping()
+        finally:
+            client.close()
+            server.close()
+
+
+class TestPushDemux:
+    def test_is_push_recognises_results_and_failures(self):
+        assert _is_push({"ok": True, "id": 1, "result": {}})
+        assert _is_push({"ok": False, "id": 2, "status": "failed",
+                         "error": "x"})
+        assert not _is_push({"ok": True, "status": "queued"})
+        assert not _is_push({"ok": True, "status": "flushed", "count": 0})
+        assert not _is_push({"ok": True, "status": "pong"})
+
+    def test_interleaved_pushes_are_stashed_until_flush(self):
+        # v2 service behaviour: results pushed before the flush op.
+        reader = ScriptedReader([
+            {"ok": True, "id": 1, "status": "queued"},
+            {"ok": True, "id": 1, "result": {"name": "early"}},  # pushed
+            {"ok": True, "status": "pong"},
+            {"ok": False, "id": 2, "status": "failed", "error": "boom"},
+            {"ok": True, "status": "flushed", "count": 2},
+        ])
+        client = ServeClient(reader, io.StringIO())
+        ack = client.predict(design="d")
+        assert ack["status"] == "queued"
+        assert client.ping()  # the pushed result did not eat the pong
+        results = client.flush()
+        # Both the early push and the per-request failure come back;
+        # failures are returned, not raised — they must not hide the
+        # other results.
+        assert [r.get("id") for r in results] == [1, 2]
+        assert results[0]["result"]["name"] == "early"
+        assert not results[1]["ok"]
+
+    def test_server_eof_raises(self):
+        client = ServeClient(ScriptedReader([]), io.StringIO())
+        with pytest.raises(ServeError, match="closed the connection"):
+            client.ping()

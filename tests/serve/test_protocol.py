@@ -9,7 +9,8 @@ import pytest
 
 from repro.models.mlp_baseline import MLPBaseline
 from repro.pipeline import PipelineConfig
-from repro.serve import (DesignResolver, InferenceEngine, LocalClient,
+from repro.serve import (PROTOCOL_VERSION, DesignResolver,
+                         FlushDeliveryError, InferenceEngine, LocalClient,
                          ServeClient, ServeConfig, ServeError,
                          serve_forever, serve_socket)
 
@@ -48,7 +49,7 @@ def run_protocol(engine, resolver, payloads):
 class TestLineProtocol:
     def test_ping(self, engine, resolver):
         replies, shutdown = run_protocol(engine, resolver, [{"op": "ping"}])
-        assert replies == [{"ok": True, "status": "pong"}]
+        assert replies[0]["ok"] and replies[0]["status"] == "pong"
         assert not shutdown  # EOF, not shutdown
 
     def test_queue_then_flush(self, engine, resolver):
@@ -105,6 +106,160 @@ class TestLineProtocol:
             {"op": "shutdown"}, {"op": "ping"}])
         assert shutdown
         assert len(replies) == 1  # nothing after shutdown is processed
+
+
+class TestProtocolVersion:
+    def test_ping_and_stats_carry_server_identity(self, engine, resolver):
+        import repro
+        replies, _ = run_protocol(engine, resolver,
+                                  [{"op": "ping"}, {"op": "stats"}])
+        for reply in replies:
+            server = reply["server"]
+            assert server["name"] == "repro-serve"
+            assert server["version"] == repro.__version__
+            assert server["protocol_version"] == PROTOCOL_VERSION
+            assert server["mode"] == "engine"
+
+    def test_current_and_older_versions_accepted(self, engine, resolver):
+        replies, _ = run_protocol(engine, resolver, [
+            {"op": "ping", "protocol_version": PROTOCOL_VERSION},
+            {"op": "ping", "protocol_version": 1},
+        ])
+        assert all(r["status"] == "pong" for r in replies)
+
+    def test_newer_version_rejected_per_request(self, engine, resolver):
+        replies, _ = run_protocol(engine, resolver, [
+            {"op": "predict", "id": 4, "spec": TINY_SPEC,
+             "protocol_version": PROTOCOL_VERSION + 1},
+            {"op": "ping"},
+        ])
+        assert not replies[0]["ok"] and replies[0]["id"] == 4
+        assert "newer than this server's" in replies[0]["error"]
+        assert replies[1]["status"] == "pong"  # loop survived
+
+    def test_non_integer_version_rejected(self, engine, resolver):
+        for bad in ("2", 2.5, True):
+            replies, _ = run_protocol(engine, resolver, [
+                {"op": "ping", "protocol_version": bad}])
+            assert not replies[0]["ok"]
+            assert "must be an integer" in replies[0]["error"]
+
+
+class TestOversizedLines:
+    def test_oversized_line_is_rejected_not_buffered(self, engine, resolver):
+        lines = [json.dumps({"op": "ping", "pad": "x" * 4096}),
+                 json.dumps({"op": "ping"})]
+        out = io.StringIO()
+        serve_forever(engine, resolver, iter(line + "\n" for line in lines),
+                      out, max_line_bytes=1024)
+        replies = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert not replies[0]["ok"]
+        assert "exceeds 1024 bytes" in replies[0]["error"]
+        assert replies[1]["status"] == "pong"  # session survived
+
+
+class BrokenWriter:
+    """A writer whose pipe dies after ``survive`` successful writes."""
+
+    def __init__(self, survive: int):
+        self.survive = survive
+        self.lines: list[str] = []
+
+    def write(self, text: str) -> None:
+        if len(self.lines) >= self.survive:
+            raise OSError("broken pipe")
+        self.lines.append(text)
+
+    def flush(self) -> None:
+        pass
+
+
+class TestFlushDelivery:
+    def queue_two(self, engine, resolver, writer):
+        lines = [json.dumps({"op": "predict", "id": i, "spec": spec})
+                 for i, spec in ((1, TINY_SPEC), (2, TINY_SPEC_B))]
+        lines.append(json.dumps({"op": "flush"}))
+        return iter(line + "\n" for line in lines), writer
+
+    def test_mid_flush_death_accounts_for_results(self, engine, resolver):
+        # 2 acks survive, then the pipe dies delivering the 1st result.
+        reader, writer = self.queue_two(engine, resolver, BrokenWriter(2))
+        with pytest.raises(FlushDeliveryError) as excinfo:
+            serve_forever(engine, resolver, reader, writer)
+        error = excinfo.value
+        assert error.delivered == 0
+        assert error.discarded == 2
+        # Both computed results (plus the summary) are carried along
+        # for the front end to log or spool.
+        assert [r.get("id") for r in error.undelivered[:2]] == [1, 2]
+        assert error.undelivered[-1]["status"] == "flushed"
+        assert "2 computed result(s) discarded" in str(error)
+
+    def test_partial_delivery_counts_delivered(self, engine, resolver):
+        # 2 acks + 1 result make it out; the 2nd result does not.
+        reader, writer = self.queue_two(engine, resolver, BrokenWriter(3))
+        with pytest.raises(FlushDeliveryError) as excinfo:
+            serve_forever(engine, resolver, reader, writer)
+        error = excinfo.value
+        assert error.delivered == 1
+        assert error.discarded == 1
+        assert error.undelivered[0]["id"] == 2
+
+    def test_engine_queue_is_clean_after_delivery_failure(self, engine,
+                                                          resolver):
+        reader, writer = self.queue_two(engine, resolver, BrokenWriter(2))
+        with pytest.raises(FlushDeliveryError):
+            serve_forever(engine, resolver, reader, writer)
+        # The flush consumed the queue: a later session must not inherit
+        # the dead client's requests.
+        replies, _ = run_protocol(engine, resolver, [{"op": "flush"}])
+        assert replies[0] == {"ok": True, "status": "flushed", "count": 0}
+
+
+class TestFuzzSessions:
+    """Malformed traffic has session-only blast radius."""
+
+    GARBAGE = ["not json", "[1, 2]", '"just a string"', "42", "null",
+               "{}", '{"op": []}', '{"op": "predict", "spec": 7}',
+               '{"op": "predict", "channel": {"a": 1}}',
+               '{"op": "dance"}', '{"op": ""}',
+               '{"op": "predict", "spec": {"bogus": true}}',
+               '{"id": 1}', "\x00\x01\x02", "{" * 200]
+
+    def test_garbage_lines_never_kill_the_loop(self, engine, resolver):
+        replies, shutdown = run_protocol(
+            engine, resolver, self.GARBAGE + [{"op": "ping"}])
+        assert not shutdown
+        assert replies[-1]["status"] == "pong"
+        for reply in replies[:-1]:
+            assert reply["ok"] is False and reply["error"]
+
+    def test_mid_line_disconnect_only_kills_its_session(self, engine,
+                                                        resolver):
+        import socket as socketlib
+        ready = threading.Event()
+        bound = {}
+
+        def on_ready(port):
+            bound["port"] = port
+            ready.set()
+
+        thread = threading.Thread(
+            target=serve_socket, args=(engine, resolver, 0),
+            kwargs={"ready_callback": on_ready}, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        # A client that dies mid-line (no newline, no valid JSON prefix).
+        for fragment in (b'{"op": "pred', b'{"op": "ping"}\n{"x'):
+            rude = socketlib.create_connection(
+                ("127.0.0.1", bound["port"]), timeout=10)
+            rude.sendall(fragment)
+            rude.close()
+        with ServeClient.connect(port=bound["port"]) as client:
+            assert client.ping()
+            client.shutdown()
+        thread.join(10)
+        assert not thread.is_alive()
 
 
 class TestResolver:
