@@ -1,0 +1,151 @@
+"""Artifact-store micro-bench: checksummed vs raw warm stage-cache loads.
+
+The durable store (:mod:`repro.store`) frames every blob with a sha-256
+footer and verifies it on read.  The verification budget is ≤10%
+overhead on *warm* loads: the store checks each blob's digest once per
+process and then skips the re-hash while the file's stat signature
+(size, mtime_ns, inode) is unchanged, so steady-state warm reads cost
+the same as unverified legacy reads while on-disk corruption is still
+caught on first contact.
+
+Raw baselines are legacy **unframed** blobs (the pre-store format),
+read through the same ``StageCache.load`` path — the measured gap is
+exactly the framing + verification machinery.  Timings are
+batch-amortised best-of-N, so microsecond-scale jitter does not decide
+the gate.
+
+Writes ``BENCH_store.json`` (schema ``repro-bench-store-v1``) next to
+``BENCH_nn.json`` / ``BENCH_serve.json``; the nightly CI job validates
+and uploads it.  ``slow``-marked:
+
+```bash
+PYTHONPATH=src python -m pytest benchmarks/test_store_overhead.py -q -m slow
+```
+"""
+
+import os
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuit import superblue_suite
+from repro.perf.report import (load_store_bench_report,
+                               write_store_bench_report)
+from repro.pipeline import (PipelineConfig, StageCache, prepare_design,
+                            stage_keys_for)
+from repro.placement import PlacementConfig
+from repro.routing import RouterConfig
+
+pytestmark = pytest.mark.slow
+
+BENCH_STORE_PATH = os.path.join(os.path.dirname(__file__), "..",
+                                "BENCH_store.json")
+
+#: The acceptance budget: warm checksummed loads within 10% of raw.
+MAX_OVERHEAD = 1.10
+
+#: Loads per timing sample (amortises the perf_counter granularity) and
+#: best-of samples per measurement.
+BATCH = 20
+ROUNDS = 15
+
+#: Entries accumulated by the benches below; flushed and re-validated
+#: once the module finishes, so partial ``-k`` runs still record.
+_ENTRIES: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _store_bench_report():
+    yield
+    if _ENTRIES:
+        path = write_store_bench_report(
+            BENCH_STORE_PATH, _ENTRIES,
+            context={"source": "benchmarks/test_store_overhead.py",
+                     "batch": BATCH, "rounds": ROUNDS,
+                     "raw_baseline": "legacy unframed blob via the same "
+                                     "StageCache.load path"})
+        load_store_bench_report(path)  # never upload an invalid artifact
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory):
+    return StageCache(str(tmp_path_factory.mktemp("store-bench")))
+
+
+def _legacy_twin(cache: StageCache, key: str, obj) -> str:
+    """Store ``obj`` under a sibling key as a legacy *unframed* blob."""
+    legacy_key = ("f" * 8 + key)[:len(key)]
+    path = cache._path(legacy_key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    return legacy_key
+
+
+def _best_per_load(cache: StageCache, key: str) -> float:
+    assert cache.load(key) is not None  # warm-up (and first-contact verify)
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for _ in range(BATCH):
+            cache.load(key)
+        best = min(best, time.perf_counter() - start)
+    return best / BATCH
+
+
+def _bench_entry(cache: StageCache, key: str, obj) -> dict:
+    legacy_key = _legacy_twin(cache, key, obj)
+    verified = _best_per_load(cache, key)
+    raw = _best_per_load(cache, legacy_key)
+    return {
+        "raw_read_s": raw,
+        "verified_read_s": verified,
+        "overhead_ratio": verified / raw,
+        "payload_bytes": os.path.getsize(cache._path(legacy_key)),
+    }
+
+
+class TestWarmLoadOverhead:
+    def test_stage_product_loads_within_budget(self, cache):
+        """The real thing: a prepared LH-graph stage product."""
+        config = PipelineConfig(
+            scale=0.15, grid_nx=8, grid_ny=8, use_cache=True,
+            placement=PlacementConfig(outer_iterations=1),
+            router=RouterConfig(nx=8, ny=8, rrr_iterations=1))
+        design = superblue_suite(scale=0.15)[0]
+        prepare_design(design, config, cache=cache)
+        key = stage_keys_for(design, config)["graph"]
+        graph = cache.load(key)
+        assert graph is not None
+
+        entry = _bench_entry(cache, key, graph)
+        _ENTRIES["stage_graph_load"] = entry
+        print(f"\n[store] graph product ({entry['payload_bytes']} B): "
+              f"raw {entry['raw_read_s'] * 1e6:.0f}us, verified "
+              f"{entry['verified_read_s'] * 1e6:.0f}us "
+              f"({entry['overhead_ratio']:.3f}x)")
+        assert entry["overhead_ratio"] <= MAX_OVERHEAD, (
+            f"checksummed warm loads cost "
+            f"{entry['overhead_ratio']:.3f}x raw loads "
+            f"(budget {MAX_OVERHEAD}x)")
+
+    def test_large_array_payload_within_budget(self, cache):
+        """Worst case for hashing: a 4 MB ndarray that unpickles as a
+        near-memcpy — without the per-process digest cache the sha-256
+        would dominate this load several times over."""
+        key = "ab" * 16
+        payload = np.random.default_rng(0).random((1024, 512))
+        cache.store(key, payload)
+
+        entry = _bench_entry(cache, key, payload)
+        _ENTRIES["large_array_load"] = entry
+        print(f"\n[store] 4MB ndarray: raw "
+              f"{entry['raw_read_s'] * 1e6:.0f}us, verified "
+              f"{entry['verified_read_s'] * 1e6:.0f}us "
+              f"({entry['overhead_ratio']:.3f}x)")
+        assert entry["overhead_ratio"] <= MAX_OVERHEAD, (
+            f"checksummed warm loads cost "
+            f"{entry['overhead_ratio']:.3f}x raw loads "
+            f"(budget {MAX_OVERHEAD}x)")

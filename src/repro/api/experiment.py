@@ -270,11 +270,13 @@ def run_experiment(spec: ExperimentSpec, *,
     }
     validate_result_manifest(manifest)
     if save:
+        from ..store import atomic_write_bytes
         manifest_path = spec.manifest_path()
         os.makedirs(os.path.dirname(manifest_path) or ".", exist_ok=True)
-        with open(manifest_path, "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write_bytes(
+            manifest_path,
+            (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode(),
+            point="experiment.manifest")
 
     return ExperimentResult(spec=spec, fingerprint=fingerprint, model=model,
                             metrics=metrics, checkpoint_path=checkpoint_path,

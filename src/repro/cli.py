@@ -204,6 +204,19 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="service mode: require this token on reload/"
                         "shutdown ops (default: admin ops are open)")
 
+    p = sub.add_parser("store", help="inspect and maintain the durable "
+                       "artifact store (stage cache, quarantine, leases)")
+    p.add_argument("action", choices=["gc", "stats", "quarantine"],
+                   help="gc: remove orphaned *.tmp files and expired "
+                        "leases; stats: blob/lease/quarantine census; "
+                        "quarantine: list quarantined artifacts and why")
+    p.add_argument("--root", default=None,
+                   help="store root (default: the stage-cache directory, "
+                        "honouring REPRO_CACHE_DIR)")
+    p.add_argument("--max-age", type=float, default=600.0, dest="max_age",
+                   help="gc: tmp files older than this many seconds are "
+                        "orphans (default 600)")
+
     sub.add_parser("info", help="print version and dependency info")
     return parser
 
@@ -296,11 +309,19 @@ def cmd_prepare(args) -> int:
     except ValueError as exc:
         print(f"prepare failed: {exc}", file=sys.stderr)
         return 2
+    from repro.pipeline import StageCache, default_cache_dir
+    cache = StageCache(default_cache_dir() if config.use_cache else None)
     graphs = prepare_workload(args.suite, config, workers=args.workers,
-                              verbose=True, lazy=True, designs=designs)
+                              verbose=True, lazy=True, designs=designs,
+                              cache=cache)
     print(f"prepared {len(graphs)} designs of suite {args.suite!r} "
           f"({graphs[0].nx}x{graphs[0].ny} G-cells each) "
           f"with {args.workers} worker(s)")
+    state = "degraded (uncached)" if cache.degraded else (
+        "disabled" if cache.root is None else "ok")
+    print(f"stage cache: {cache.hits} hits, {cache.misses} misses, "
+          f"{cache.stores} stores, {cache.corrupt} corrupt "
+          f"(quarantined), state {state}")
     return 0
 
 
@@ -544,6 +565,38 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_store(args) -> int:
+    from repro.pipeline import default_cache_dir
+    from repro.store import BlobStore
+    root = args.root or default_cache_dir()
+    store = BlobStore(root)
+    if args.action == "gc":
+        report = store.gc(max_tmp_age_s=args.max_age)
+        print(f"store gc under {root}: "
+              f"removed {len(report['tmp_removed'])} orphaned tmp "
+              f"file(s), {len(report['leases_removed'])} expired "
+              f"lease(s)")
+        for path in report["tmp_removed"] + report["leases_removed"]:
+            print(f"  removed {path}")
+        return 0
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"store root      {stats['root']}")
+        print(f"objects         {stats['objects']} "
+              f"({stats['object_bytes'] / 1e6:.1f} MB)")
+        print(f"quarantined     {stats['quarantined']}")
+        print(f"active leases   {stats['leases']}")
+        return 0
+    records = store.quarantine_records()
+    if not records:
+        print(f"quarantine under {root}: empty")
+        return 0
+    print(f"quarantine under {root}: {len(records)} artifact(s)")
+    for record in records:
+        print(f"  {record['file']}: {record.get('reason', '<no reason>')}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -555,6 +608,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": cmd_evaluate,
         "predict": cmd_predict,
         "serve": cmd_serve,
+        "store": cmd_store,
         "info": cmd_info,
     }[args.command]
     return handler(args)

@@ -3,26 +3,61 @@
 The autograd engine stores parameters as plain numpy arrays, so a
 checkpoint is just a compressed npz of the state dict plus a small JSON
 header describing the architecture for sanity checks at load time.
+
+Durability (via :mod:`repro.store` primitives):
+
+* **Atomic save** — the archive is built in memory and lands on disk
+  through tmp + fsync + rename, so a crash mid-save leaves the previous
+  checkpoint intact, never a torn file.
+* **Checksum sidecar** — ``<file>.sha256`` records the archive's size
+  and SHA-256.  A footer *inside* the file would break the zip
+  end-of-central-directory scan, so checkpoints use a sidecar where
+  pickled blobs use an in-file footer.  On read, a digest mismatch at
+  matching size raises a :class:`CheckpointError` with
+  ``corrupt=True`` (the signal :mod:`repro.serve.registry` uses to
+  quarantine); a size mismatch means a stale sidecar and is skipped —
+  truncation is still caught structurally by the zip CRC.
+* **Transient-read retry** — ``EIO``-class errors during the read are
+  retried with bounded backoff before surfacing.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
 import os
 import zipfile
 
 import numpy as np
 
+from ..store.blobs import atomic_write_bytes, read_bytes
+from ..testing.faults import current_injector
 from .layers import Module
 
 __all__ = ["save_checkpoint", "load_checkpoint", "read_checkpoint_header",
-           "CheckpointError"]
+           "CheckpointError", "checkpoint_sidecar_path"]
 
 _HEADER_KEY = "__repro_header__"
 
 
 class CheckpointError(RuntimeError):
-    """Raised when a checkpoint is malformed or mismatches the model."""
+    """Raised when a checkpoint is malformed or mismatches the model.
+
+    ``corrupt`` is True when the *bytes* are damaged (checksum mismatch,
+    torn zip, mangled header) as opposed to absent files or healthy
+    files of an unknown format — callers use it to decide whether the
+    file deserves quarantine.
+    """
+
+    def __init__(self, message: str, *, corrupt: bool = False):
+        super().__init__(message)
+        self.corrupt = corrupt
+
+
+def checkpoint_sidecar_path(path: str) -> str:
+    """The checksum sidecar path for a checkpoint file."""
+    return path + ".sha256"
 
 
 def save_checkpoint(model: Module, path: str,
@@ -31,7 +66,9 @@ def save_checkpoint(model: Module, path: str,
 
     The file is a standard ``.npz``; parameter names become array keys
     (dots replaced since npz keys allow them as-is) and a JSON header
-    records parameter count and user metadata.
+    records parameter count and user metadata.  The write is atomic
+    (tmp + fsync + rename) and followed by a ``.sha256`` sidecar, so an
+    interrupted save never destroys the previous checkpoint.
     """
     state = model.state_dict()
     header = {
@@ -43,11 +80,26 @@ def save_checkpoint(model: Module, path: str,
     payload = dict(state)
     payload[_HEADER_KEY] = np.frombuffer(
         json.dumps(header).encode(), dtype=np.uint8)
-    directory = os.path.dirname(os.path.abspath(path))
+    # np.savez_compressed appends ``.npz`` only to *str* paths; writing
+    # to a buffer keeps the name ours and makes the disk write atomic.
+    final = path if path.endswith(".npz") else path + ".npz"
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **payload)
+    data = buf.getvalue()
+    directory = os.path.dirname(os.path.abspath(final))
     os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **payload)
-    # numpy appends .npz when missing; normalise the reported path.
-    return path if path.endswith(".npz") else path + ".npz"
+    atomic_write_bytes(final, data, faults=current_injector(),
+                       point="checkpoint.write")
+    sidecar = json.dumps({
+        "size": len(data),
+        "sha256": hashlib.sha256(data).hexdigest(),
+    }, sort_keys=True).encode()
+    # Sidecar lands *after* the archive: a crash between the two leaves
+    # a stale (size-mismatched) sidecar, which readers skip.
+    atomic_write_bytes(checkpoint_sidecar_path(final), sidecar,
+                       faults=current_injector(),
+                       point="checkpoint.write")
+    return final
 
 
 def _resolve_path(path: str) -> str:
@@ -56,21 +108,50 @@ def _resolve_path(path: str) -> str:
     return path
 
 
+def _verify_sidecar(path: str, data: bytes) -> None:
+    """Check ``data`` against the ``.sha256`` sidecar, if one matches.
+
+    No sidecar ⇒ legacy checkpoint, read unverified.  Size mismatch ⇒
+    the sidecar is stale (crash between archive and sidecar writes) and
+    is ignored — a *truncated archive* still fails the zip CRC check.
+    Same size but different digest ⇒ bit rot: corrupt.
+    """
+    sidecar = checkpoint_sidecar_path(path)
+    try:
+        with open(sidecar) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        return
+    if int(record.get("size", -1)) != len(data):
+        return
+    if record.get("sha256") != hashlib.sha256(data).hexdigest():
+        raise CheckpointError(
+            f"{path}: checksum mismatch against {sidecar}", corrupt=True)
+
+
 def _read_archive(path: str,
                   with_state: bool = True) -> tuple[dict, dict | None]:
     """Read ``(header, state)`` from ``path``.
 
-    ``with_state=False`` decompresses only the header member — the cheap
-    path for metadata-only readers like
+    ``with_state=False`` skips materialising the parameter arrays — the
+    cheap path for metadata-only readers like
     :func:`read_checkpoint_header`.  Corrupt, truncated or non-npz files
-    surface as :class:`CheckpointError` (numpy raises a zoo of
-    ``BadZipFile`` / ``OSError`` / ``ValueError`` depending on *how* the
-    bytes are wrong).
+    surface as :class:`CheckpointError` with ``corrupt=True`` (numpy
+    raises a zoo of ``BadZipFile`` / ``OSError`` / ``ValueError``
+    depending on *how* the bytes are wrong); transient I/O errors are
+    retried with backoff before giving up.
     """
     if not os.path.exists(path):
         raise CheckpointError(f"{path}: no such checkpoint")
     try:
-        with np.load(path) as archive:
+        data = read_bytes(path, faults=current_injector(),
+                          point="checkpoint.read")
+    except OSError as exc:
+        raise CheckpointError(
+            f"{path}: unreadable checkpoint ({exc})") from exc
+    _verify_sidecar(path, data)
+    try:
+        with np.load(io.BytesIO(data)) as archive:
             if _HEADER_KEY not in archive:
                 raise CheckpointError(f"{path}: not a repro checkpoint")
             header = json.loads(
@@ -80,7 +161,8 @@ def _read_archive(path: str,
     except (zipfile.BadZipFile, OSError, ValueError, EOFError,
             json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise CheckpointError(
-            f"{path}: unreadable checkpoint ({exc})") from exc
+            f"{path}: unreadable checkpoint ({exc})",
+            corrupt=True) from exc
     if header.get("format") != "repro-checkpoint-v1":
         raise CheckpointError(f"{path}: unknown format "
                               f"{header.get('format')!r}")
@@ -93,9 +175,8 @@ def read_checkpoint_header(path: str) -> dict:
     The header carries ``format``, ``num_parameters``,
     ``parameter_names`` and ``metadata`` (where
     :func:`repro.serve.registry.save_model` records the typed
-    architecture description).  Only the header member is decompressed —
-    parameter arrays are left untouched.  Raises
-    :class:`CheckpointError` on any malformed file.
+    architecture description).  Raises :class:`CheckpointError` on any
+    malformed file.
     """
     header, _ = _read_archive(_resolve_path(path), with_state=False)
     return header

@@ -21,9 +21,10 @@ import os
 import platform
 from typing import Mapping
 
-__all__ = ["BENCH_SCHEMA", "SERVE_BENCH_SCHEMA", "speedup_entry",
-           "write_bench_report", "load_bench_report",
-           "write_serve_bench_report", "load_serve_bench_report"]
+__all__ = ["BENCH_SCHEMA", "SERVE_BENCH_SCHEMA", "STORE_BENCH_SCHEMA",
+           "speedup_entry", "write_bench_report", "load_bench_report",
+           "write_serve_bench_report", "load_serve_bench_report",
+           "write_store_bench_report", "load_store_bench_report"]
 
 #: Schema tag of the report format; bump when the layout changes.
 BENCH_SCHEMA = "repro-bench-nn-v1"
@@ -31,6 +32,10 @@ BENCH_SCHEMA = "repro-bench-nn-v1"
 #: Schema tag of the serving-load report (``BENCH_serve.json``): entries
 #: carry requests/s and p50/p99 latency percentiles per load shape.
 SERVE_BENCH_SCHEMA = "repro-bench-serve-v1"
+
+#: Schema tag of the artifact-store report (``BENCH_store.json``):
+#: entries carry raw vs checksummed read timings and the overhead ratio.
+STORE_BENCH_SCHEMA = "repro-bench-store-v1"
 
 
 def speedup_entry(float32_s: float, float64_s: float,
@@ -130,6 +135,29 @@ def load_serve_bench_report(path: str) -> dict:
     return _load_report(
         path, SERVE_BENCH_SCHEMA,
         numeric_suffixes=("_s", "_ms", "requests_per_s", "speedup"))
+
+
+def write_store_bench_report(path: str, entries: Mapping[str, dict],
+                             context: dict | None = None) -> str:
+    """Write the artifact-store overhead report (``BENCH_store.json``).
+
+    Entries come from the store micro-bench: per payload shape, the
+    best-of-N wall time of raw (unverified) vs checksummed warm reads
+    (``raw_read_s`` / ``verified_read_s``) and their
+    ``overhead_ratio`` — the number the ≤1.10× budget in
+    ``benchmarks/test_store_overhead.py`` is asserted on.
+    """
+    return _write_report(path, STORE_BENCH_SCHEMA, entries, None, context)
+
+
+def load_store_bench_report(path: str) -> dict:
+    """Read and validate a ``BENCH_store.json`` report.
+
+    The nightly CI job calls this after the store bench, so an invalid
+    or empty artifact fails the job instead of uploading noise.
+    """
+    return _load_report(path, STORE_BENCH_SCHEMA,
+                        numeric_suffixes=("_s", "_ratio", "_bytes"))
 
 
 def _load_report(path: str, schema: str,

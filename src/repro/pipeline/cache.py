@@ -13,9 +13,14 @@ Changing a downstream knob therefore never invalidates upstream entries,
 and a crashed run resumes exactly where it stopped — every finished
 stage of every finished design is already on disk.
 
-Writes are atomic (tmp file + ``os.replace``), so parallel workers can
-share one cache root without locking: the worst case is two workers
-computing the same product and one rename winning.
+Persistence goes through :class:`repro.store.BlobStore`: every blob is
+written atomically (tmp + fsync + rename) with a SHA-256 footer that is
+verified on read.  Corrupt blobs — bad checksum *or* unpicklable
+payload — are quarantined with a reason record and counted separately
+(``corrupt``) from plain misses, in-progress stages are coordinated via
+lease files (see :mod:`repro.pipeline.runner`), and a cache root that
+turns out to be unwritable degrades the run to uncached operation with
+a :class:`repro.store.StoreDegradedWarning` instead of crashing it.
 """
 
 from __future__ import annotations
@@ -24,12 +29,12 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..circuit.design import Design
+from ..store import BlobStore
 from .config import SCHEMA_VERSION, canonical_payload, fingerprint_of
 
 __all__ = ["default_cache_dir", "design_fingerprint", "StageCache",
@@ -71,18 +76,11 @@ def design_fingerprint(design: Design) -> str:
     return h.hexdigest()[:32]
 
 
-def _atomic_write(path: str, write) -> None:
-    """Write via tmp-file + rename; the tmp file never outlives failure."""
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            write(handle)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
+#: Exceptions that mean "this pickle payload cannot become an object".
+#: The bytes already passed their checksum, so these indicate schema
+#: drift or a legacy (pre-checksum) blob that rotted on disk.
+_UNPICKLE_ERRORS = (pickle.UnpicklingError, EOFError, AttributeError,
+                    ImportError, IndexError)
 
 
 class StageCache:
@@ -90,14 +88,25 @@ class StageCache:
 
     ``root=None`` disables persistence entirely (every ``load`` misses,
     ``store`` is a no-op) — the runner then behaves like the old
-    uncached pipeline.
+    uncached pipeline.  A persistent cache sits on a
+    :class:`repro.store.BlobStore`: checksummed write-once blobs,
+    quarantine for corruption (counted in ``corrupt``, not ``misses``),
+    per-key leases for in-progress computation, and graceful
+    degradation to uncached mode when the root is unwritable.
     """
 
-    def __init__(self, root: str | None):
+    def __init__(self, root: str | None, *, lease_ttl_s: float = 300.0):
         self.root = root
+        self.blobs = BlobStore(root, lease_ttl_s=lease_ttl_s)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True once the store downgraded itself to uncached operation."""
+        return self.blobs.degraded
 
     # -- key derivation ------------------------------------------------
     @staticmethod
@@ -107,37 +116,70 @@ class StageCache:
 
     # -- object store --------------------------------------------------
     def _path(self, key: str) -> str:
-        return os.path.join(self.root, "objects", key[:2], f"{key}.pkl")
+        return self.blobs.object_path(key)
 
     def load(self, key: str):
-        """Return the cached object for ``key`` or ``None`` on a miss."""
+        """Return the cached object for ``key`` or ``None`` on a miss.
+
+        Corruption — checksum-failed bytes or an unpicklable payload —
+        quarantines the blob, increments ``corrupt`` (not ``misses``)
+        and reads as ``None``, so the caller recomputes against a clean
+        slot instead of racing a permanently-poisoned file.
+        """
         if self.root is not None:
-            path = self._path(key)
-            if os.path.exists(path):
+            checksum_corrupt = self.blobs.corrupt
+            payload = self.blobs.get(key)
+            if payload is not None:
                 try:
-                    with open(path, "rb") as handle:
-                        obj = pickle.load(handle)
-                except (OSError, pickle.UnpicklingError, EOFError,
-                        AttributeError, ImportError):
-                    pass  # corrupt/stale entry: treat as a miss, recompute
-                else:
-                    self.hits += 1
-                    return obj
+                    obj = pickle.loads(payload)
+                except _UNPICKLE_ERRORS as exc:
+                    self.corrupt += 1
+                    self.blobs.quarantine_object(
+                        key, f"unpicklable payload: "
+                             f"{type(exc).__name__}: {exc}")
+                    return None
+                self.hits += 1
+                return obj
+            if self.blobs.corrupt > checksum_corrupt:
+                self.corrupt += 1
+                return None
         self.misses += 1
         return None
 
+    def load_if_present(self, key: str):
+        """``load`` that skips the miss counter when the blob is absent.
+
+        The lease-coordination path re-checks keys it already counted a
+        miss for; this keeps that re-check from double-counting.
+        """
+        if not self.contains(key):
+            return None
+        return self.load(key)
+
     def store(self, key: str, obj) -> None:
-        """Atomically persist ``obj`` under ``key`` (no-op when disabled)."""
-        if self.root is None:
-            return
-        _atomic_write(self._path(key),
-                      lambda handle: pickle.dump(
-                          obj, handle, protocol=pickle.HIGHEST_PROTOCOL))
-        self.stores += 1
+        """Atomically persist ``obj`` under ``key`` (no-op when disabled).
+
+        The blob carries a SHA-256 footer; a write that fails for
+        non-transient reasons degrades the cache (with a structured
+        warning) rather than raising, so a full or read-only cache root
+        never kills the computation that produced ``obj``.
+        """
+        if self.blobs.put(key, pickle.dumps(
+                obj, protocol=pickle.HIGHEST_PROTOCOL)):
+            self.stores += 1
 
     def contains(self, key: str) -> bool:
         """True when ``key`` is present (does not touch counters)."""
-        return self.root is not None and os.path.exists(self._path(key))
+        return self.blobs.contains(key)
+
+    # -- coordination / maintenance ------------------------------------
+    def try_lease(self, key: str):
+        """Claim (or steal a stale) computation lease for ``key``."""
+        return self.blobs.try_lease(key)
+
+    def gc(self, *, max_tmp_age_s: float = 600.0) -> dict:
+        """Sweep orphaned tmp files and expired leases (see store docs)."""
+        return self.blobs.gc(max_tmp_age_s=max_tmp_age_s)
 
     # -- manifests -----------------------------------------------------
     def manifest_path(self, suite_key: str) -> str:
@@ -160,8 +202,8 @@ class StageCache:
             return
         payload = json.dumps(manifest.to_json(), indent=1,
                              sort_keys=True).encode()
-        _atomic_write(self.manifest_path(manifest.suite_key),
-                      lambda handle: handle.write(payload))
+        self.blobs.write_plain(self.manifest_path(manifest.suite_key),
+                               payload)
 
 
 # ----------------------------------------------------------------------

@@ -21,11 +21,13 @@ The runner ties the pieces together:
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..circuit.design import Design
 from ..graph.lhgraph import LHGraph
+from ..testing.faults import current_injector
 from .cache import (ManifestEntry, ManifestGraphs, StageCache, SuiteManifest,
                     default_cache_dir, design_fingerprint)
 from .config import PipelineConfig
@@ -72,6 +74,49 @@ class _PreparedDesign:
     placed: Design | None = None
 
 
+#: Poll interval while waiting on another worker's in-progress lease.
+_LEASE_POLL_S = 0.2
+
+
+def _locked_compute(cache: StageCache, key: str, stage: str,
+                    design_name: str, compute):
+    """Compute a missing stage product under a cross-process lease.
+
+    The caller has already taken a miss for ``key``.  With a persistent
+    cache, a lease file under ``<root>/leases/`` marks the computation
+    in progress so parallel ``prepare`` invocations (including workers
+    on other hosts sharing the cache FS) wait for the product instead
+    of duplicating place-and-route work.  A holder that dies mid-stage
+    leaves a stale lease (dead pid, or heartbeat past the ttl) that the
+    next contender breaks — a crashed worker never wedges the suite.
+    """
+    faults = current_injector()
+    tag = f"{stage}:{design_name}"
+    while True:
+        lease = cache.try_lease(key)
+        if lease is None:
+            # Someone else is computing this exact product: wait for
+            # their blob (or their death — try_lease steals stale).
+            time.sleep(_LEASE_POLL_S)
+            obj = cache.load_if_present(key)
+            if obj is not None:
+                return obj
+            continue
+        with lease:
+            # The previous holder may have finished between our miss
+            # and our acquisition; a steal race loser may also land
+            # here after the winner stored.
+            obj = cache.load_if_present(key)
+            if obj is None:
+                if faults is not None:
+                    faults.barrier("stage.start", tag)
+                obj = compute()
+                cache.store(key, obj)
+                if faults is not None:
+                    faults.barrier("stage.stored", tag)
+        return obj
+
+
 def _prepare_one(design: Design, config: PipelineConfig, cache: StageCache,
                  in_place: bool = False,
                  design_fp: str | None = None) -> _PreparedDesign:
@@ -97,8 +142,17 @@ def _prepare_one(design: Design, config: PipelineConfig, cache: StageCache,
     target = design if in_place else design.copy()
     placement = cache.load(keys["place"])
     if placement is None:
-        placement = run_place_stage(target, config, seed=seed)
-        cache.store(keys["place"], placement)
+        placed_here = []
+
+        def compute_place():
+            result = run_place_stage(target, config, seed=seed)
+            placed_here.append(True)
+            return result
+
+        placement = _locked_compute(cache, keys["place"], "place",
+                                    design.name, compute_place)
+        if not placed_here:  # another worker placed it: apply their result
+            placement.apply(target)
     else:
         placement.apply(target)
 
@@ -108,11 +162,12 @@ def _prepare_one(design: Design, config: PipelineConfig, cache: StageCache,
 
     routing = cache.load(keys["route"])
     if routing is None:
-        routing = run_route_stage(target, config)
-        cache.store(keys["route"], routing)
+        routing = _locked_compute(cache, keys["route"], "route", design.name,
+                                  lambda: run_route_stage(target, config))
 
-    graph = run_graph_stage(target, routing, config)
-    cache.store(keys["graph"], graph)
+    graph = _locked_compute(
+        cache, keys["graph"], "graph", design.name,
+        lambda: run_graph_stage(target, routing, config))
     return _PreparedDesign(graph=graph, entry=entry_for(graph), placed=target)
 
 
@@ -214,6 +269,10 @@ def prepare_workload(suite: str = "superblue",
     from .workloads import load_workload  # late: registry may be extended
     config = config or PipelineConfig()
     cache = _resolve_cache(config, cache)
+    if cache.root is not None:
+        # Suite start is the natural sweep point: reap tmp files and
+        # leases orphaned by a previous run that died uncleanly.
+        cache.gc()
     if designs is None:
         designs = load_workload(suite, config, **workload_params)
 

@@ -28,6 +28,7 @@ by trial and error.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import asdict, dataclass, field
 from typing import Callable
 
@@ -39,8 +40,10 @@ from ..models.pix2pix import Pix2Pix
 from ..models.related import GridSAGE
 from ..models.unet import UNet
 from ..nn.layers import Module
-from ..nn.serialize import (CheckpointError, load_checkpoint,
-                            read_checkpoint_header, save_checkpoint)
+from ..nn.serialize import (CheckpointError, checkpoint_sidecar_path,
+                            load_checkpoint, read_checkpoint_header,
+                            save_checkpoint)
+from ..store import quarantine_file
 
 __all__ = ["ModelFamily", "register_family", "attach_runtime", "get_family",
            "get_runtime", "family_of", "list_families", "model_spec",
@@ -252,16 +255,50 @@ def restore_model(path: str, seed: int = 0,
     checkpoints without one restore as float64, matching how they were
     trained); pass ``dtype`` to override — e.g. serving a float64
     checkpoint at float32 for speed.
+
+    A checkpoint whose *bytes* are damaged (checksum mismatch, torn
+    archive — ``CheckpointError.corrupt``) is moved to a ``quarantine/``
+    directory next to it before the error is re-raised, so retries and
+    other workers stop tripping over the same poisoned file and any
+    older checkpoint of the same name can be restored in its place.
     """
-    header = read_checkpoint_header(path)
-    metadata = header.get("metadata", {})
-    spec = metadata.get("model") or _legacy_spec(metadata, path)
-    model = build_model(spec, seed=seed)
-    target = np.dtype(dtype) if dtype is not None \
-        else np.dtype(metadata.get("dtype", "float64"))
-    model.to_dtype(target)
-    load_checkpoint(model, path)
+    try:
+        header = read_checkpoint_header(path)
+        metadata = header.get("metadata", {})
+        spec = metadata.get("model") or _legacy_spec(metadata, path)
+        model = build_model(spec, seed=seed)
+        target = np.dtype(dtype) if dtype is not None \
+            else np.dtype(metadata.get("dtype", "float64"))
+        model.to_dtype(target)
+        load_checkpoint(model, path)
+    except CheckpointError as exc:
+        if not getattr(exc, "corrupt", False):
+            raise
+        dest = _quarantine_checkpoint(path, str(exc))
+        if dest is None:
+            raise
+        raise CheckpointError(
+            f"{path}: corrupt checkpoint quarantined to {dest} ({exc})",
+            corrupt=True) from exc
     return model, metadata
+
+
+def _quarantine_checkpoint(path: str, reason: str) -> str | None:
+    """Move a corrupt checkpoint (and its sidecar) into ``quarantine/``."""
+    resolved = path if os.path.exists(path) else path + ".npz"
+    if not os.path.exists(resolved):
+        return None
+    qdir = os.path.join(os.path.dirname(os.path.abspath(resolved)),
+                        "quarantine")
+    dest = quarantine_file(resolved, qdir, reason,
+                           extra={"kind": "checkpoint"})
+    if dest is not None:
+        try:
+            os.replace(checkpoint_sidecar_path(resolved),
+                       checkpoint_sidecar_path(dest))
+        except OSError:
+            pass  # legacy checkpoint without a sidecar
+    return dest
 
 
 # ----------------------------------------------------------------------

@@ -422,6 +422,8 @@ class ServeService:
                         "queued": self._queued,
                         "inflight": self._inflight,
                         "worker_restarts": self.supervisor.restarts,
+                        "degraded": bool(getattr(self.supervisor,
+                                                 "degraded", False)),
                         "draining": self._draining,
                         "checkpoint": self.checkpoint},
             "router": self.router.stats(),

@@ -40,6 +40,7 @@ import dataclasses
 import multiprocessing
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from .engine import InferenceEngine, PredictRequest, ServeConfig
@@ -170,17 +171,30 @@ class Supervisor:
 
     def __init__(self, spec: WorkerSpec, num_workers: int = 1,
                  job_timeout_s: float = 120.0,
-                 start_method: str = "spawn"):
+                 start_method: str = "spawn", *,
+                 restart_backoff_s: float = 0.1,
+                 restart_backoff_cap_s: float = 5.0,
+                 max_restarts: int = 5,
+                 restart_window_s: float = 60.0):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.spec = spec
         self.num_workers = num_workers
         self.job_timeout_s = job_timeout_s
+        self.restart_backoff_s = restart_backoff_s
+        self.restart_backoff_cap_s = restart_backoff_cap_s
+        self.max_restarts = max_restarts
+        self.restart_window_s = restart_window_s
         self._ctx = multiprocessing.get_context(start_method)
         self._workers: list[_WorkerHandle | None] = [None] * num_workers
         self._spec_lock = threading.Lock()
         self.restarts = 0
         self._started = False
+        # Per-worker crash-loop circuit breaker: recent restart times
+        # within the window, and the open-breaker reason (None = closed).
+        self._restart_times: list[deque] = [deque() for _ in
+                                            range(num_workers)]
+        self._broken: list[str | None] = [None] * num_workers
 
     # -- lifecycle -------------------------------------------------------
     def _spawn(self) -> _WorkerHandle:
@@ -226,6 +240,8 @@ class Supervisor:
             handle.conn.close()
         self._workers = [None] * self.num_workers
         self._started = False
+        self._restart_times = [deque() for _ in range(self.num_workers)]
+        self._broken = [None] * self.num_workers
 
     def __enter__(self) -> "Supervisor":
         self.start()
@@ -234,8 +250,8 @@ class Supervisor:
     def __exit__(self, *exc) -> None:
         self.stop()
 
-    def _restart(self, worker_id: int) -> None:
-        """Replace a dead/hung worker with a fresh one (current spec)."""
+    def _reap(self, worker_id: int) -> "_WorkerHandle | None":
+        """Kill/join a worker's process and close its pipe; keep handle."""
         handle = self._workers[worker_id]
         if handle is not None:
             if handle.process.is_alive():
@@ -245,12 +261,52 @@ class Supervisor:
                 handle.conn.close()
             except OSError:
                 pass
+        return handle
+
+    def _respawn(self, worker_id: int,
+                 old: "_WorkerHandle | None") -> None:
         fresh = self._spawn()
         # Keep the (held) per-worker lock object so queued dispatchers
         # proceed against the fresh pipe once the current one releases.
-        fresh.lock = handle.lock if handle is not None else fresh.lock
+        fresh.lock = old.lock if old is not None else fresh.lock
         self._workers[worker_id] = fresh
+
+    def _restart(self, worker_id: int) -> None:
+        """Replace a dead/hung worker with a fresh one (current spec).
+
+        Restarts back off exponentially (capped) and trip a per-worker
+        circuit breaker after ``max_restarts`` within
+        ``restart_window_s`` — a worker that can never come up (e.g. a
+        corrupt checkpoint) must fail its jobs explicitly instead of
+        burning CPU in a fork bomb.  ``reload`` closes the breaker.
+        """
+        handle = self._reap(worker_id)
+        times = self._restart_times[worker_id]
+        now = time.monotonic()
+        while times and now - times[0] > self.restart_window_s:
+            times.popleft()
+        if len(times) >= self.max_restarts:
+            self._broken[worker_id] = (
+                f"circuit breaker open: {len(times)} restarts within "
+                f"{self.restart_window_s:.0f}s; reload a good checkpoint "
+                f"to recover")
+            return
+        if times:  # first restart in a quiet window is immediate
+            time.sleep(min(self.restart_backoff_cap_s,
+                           self.restart_backoff_s * (2 ** (len(times) - 1))))
+        times.append(time.monotonic())
+        self._respawn(worker_id, handle)
         self.restarts += 1
+
+    @property
+    def degraded(self) -> bool:
+        """True while any worker's crash-loop circuit breaker is open."""
+        return any(reason is not None for reason in self._broken)
+
+    def broken_workers(self) -> dict[int, str]:
+        """``{worker_id: reason}`` for every open circuit breaker."""
+        return {i: reason for i, reason in enumerate(self._broken)
+                if reason is not None}
 
     # -- job dispatch ----------------------------------------------------
     def dispatch(self, worker_id: int, op: str, payload=None,
@@ -261,7 +317,9 @@ class Supervisor:
         Raises :class:`WorkerError` for errors the worker reported
         (process healthy, job answered) and :class:`WorkerCrashed` when
         the process died or hung — in which case it has already been
-        restarted before the exception propagates.
+        restarted before the exception propagates.  A worker whose
+        crash-loop circuit breaker is open fails jobs immediately (the
+        reason mentions the breaker) until :meth:`reload` revives it.
         """
         if not self._started:
             raise RuntimeError("Supervisor.dispatch before start()")
@@ -271,6 +329,9 @@ class Supervisor:
         # dispatcher queued behind a crash must not talk to the dead pipe.
         lock = self._workers[worker_id].lock
         with lock:
+            broken = self._broken[worker_id]
+            if broken is not None:
+                raise WorkerCrashed(worker_id, broken)
             handle = self._workers[worker_id]
             crash_reason = None
             try:
@@ -297,12 +358,21 @@ class Supervisor:
         The caller (the service) barriers in-flight jobs first; a worker
         that crashes while reloading is restarted, and restarts always
         use the *new* spec, so every worker ends up on the new
-        checkpoint either way.
+        checkpoint either way.  Reload is also the recovery path for a
+        worker whose circuit breaker opened: its breaker state is
+        cleared and a fresh process comes up on the new checkpoint.
         """
         with self._spec_lock:
             self.spec = dataclasses.replace(self.spec, checkpoint=checkpoint)
         acks = []
         for worker_id in range(self.num_workers):
+            if self._broken[worker_id] is not None:
+                with self._workers[worker_id].lock:
+                    self._restart_times[worker_id].clear()
+                    self._broken[worker_id] = None
+                    self._respawn(worker_id, self._workers[worker_id])
+                acks.append({"status": "revived", "checkpoint": checkpoint})
+                continue
             try:
                 acks.append(self.dispatch(worker_id, "reload", checkpoint))
             except WorkerCrashed:
@@ -314,6 +384,10 @@ class Supervisor:
         """Per-worker engine stats (one blocking RPC per worker)."""
         out = []
         for worker_id in range(self.num_workers):
+            if self._broken[worker_id] is not None:
+                out.append({"error": self._broken[worker_id],
+                            "broken": True})
+                continue
             try:
                 out.append(self.dispatch(worker_id, "stats"))
             except (WorkerCrashed, WorkerError) as exc:

@@ -1,0 +1,203 @@
+"""Cross-process lease files for in-progress artifact computation.
+
+A lease marks "someone is computing this stage product right now" on a
+filesystem shared by parallel ``prepare`` workers (and, on a shared FS,
+by workers on other hosts).  The protocol:
+
+* **Acquire** — create the lease file with ``O_CREAT | O_EXCL`` and a
+  unique token, then read it back: whoever's token survived the race
+  owns the lease.  Creation is the lock; there is no server.
+* **Heartbeat** — a daemon thread touches the file's mtime every
+  ``ttl / 4`` seconds while the holder works, so long computations stay
+  visibly alive.
+* **Staleness** — a lease is stale when its holder pid is provably dead
+  (same host) or its mtime hasn't moved for a full ttl (any host).  A
+  worker SIGKILLed mid-stage therefore never wedges the suite: the next
+  contender breaks the lease and takes over.
+* **Steal** — unlink the stale file, then acquire.  Two simultaneous
+  stealers are resolved by the read-back token check: exactly one wins,
+  the other reports the lease as busy and falls back to waiting.
+
+Lease files are JSON (host, pid, token, acquired time) so ``repro store
+stats`` and humans can see who holds what.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+
+__all__ = ["Lease", "NullLease", "lease_is_stale"]
+
+
+def _hostname() -> str:
+    try:
+        return socket.gethostname()
+    except OSError:  # pragma: no cover - hostname lookup basically can't fail
+        return "unknown-host"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # someone else's live process
+        return True
+    return True
+
+
+def lease_is_stale(path: str, ttl_s: float) -> bool:
+    """True when the lease at ``path`` is safely breakable.
+
+    Two independent staleness signals: the holder pid is dead on *this*
+    host (instant — a crashed local worker never delays resume), or the
+    heartbeat mtime is older than ``ttl_s`` (works across hosts).  A
+    vanished or unparsable lease file counts as stale.
+    """
+    try:
+        age = time.time() - os.stat(path).st_mtime
+    except OSError:
+        return True
+    if age >= ttl_s:
+        return True
+    try:
+        with open(path) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        # Mid-write or mangled: breakable only once the ttl passes.
+        return False
+    if record.get("host") == _hostname() and \
+            not _pid_alive(int(record.get("pid", -1))):
+        return True
+    return False
+
+
+class NullLease:
+    """A no-op stand-in when coordination is off (no cache root)."""
+
+    held = True
+
+    def acquire(self) -> bool:
+        return True
+
+    def release(self) -> None:
+        pass
+
+    def renew(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullLease":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class Lease:
+    """One lease file: acquire / heartbeat / release.
+
+    Use as a context manager; the heartbeat thread runs while held::
+
+        lease = Lease(path, ttl_s=300.0)
+        if lease.acquire():
+            with lease:
+                ...compute and store...
+    """
+
+    def __init__(self, path: str, ttl_s: float = 300.0):
+        self.path = path
+        self.ttl_s = float(ttl_s)
+        self.token = uuid.uuid4().hex
+        self.held = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- acquisition ---------------------------------------------------
+    def _record(self) -> bytes:
+        return (json.dumps({
+            "host": _hostname(), "pid": os.getpid(), "token": self.token,
+            "acquired_unix": time.time(), "ttl_s": self.ttl_s,
+        }, sort_keys=True) + "\n").encode()
+
+    def _owns(self) -> bool:
+        try:
+            with open(self.path) as handle:
+                return json.load(handle).get("token") == self.token
+        except (OSError, ValueError):
+            return False
+
+    def acquire(self) -> bool:
+        """Try to create the lease; True iff this process now holds it."""
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(self._record())
+            handle.flush()
+            os.fsync(handle.fileno())
+        # Exclusive creation means the token is ours, but a concurrent
+        # *steal* may have unlinked-and-recreated around us — the
+        # read-back settles who actually won.
+        self.held = self._owns()
+        return self.held
+
+    def steal(self) -> bool:
+        """Break a stale lease and claim it (token-checked)."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+        return self.acquire()
+
+    # -- heartbeat -----------------------------------------------------
+    def renew(self) -> None:
+        """Bump the heartbeat mtime (no-op if the file vanished)."""
+        try:
+            os.utime(self.path)
+        except OSError:
+            pass
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            self.renew()
+
+    def _start_heartbeat(self) -> None:
+        if self._thread is not None:
+            return
+        interval = max(0.05, self.ttl_s / 4.0)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._heartbeat_loop, args=(interval,),
+            name=f"lease-heartbeat-{os.path.basename(self.path)}",
+            daemon=True)
+        self._thread.start()
+
+    # -- release -------------------------------------------------------
+    def release(self) -> None:
+        """Stop the heartbeat and remove the lease (if still ours)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        if self.held and self._owns():
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        self.held = False
+
+    def __enter__(self) -> "Lease":
+        if not self.held:
+            raise RuntimeError("entering a Lease that was not acquired")
+        self._start_heartbeat()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

@@ -1,0 +1,16 @@
+"""Shared hygiene for the store tests: no fault plan leaks across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import clear_faults
+
+
+@pytest.fixture(autouse=True)
+def _isolated_faults(monkeypatch):
+    """Each test starts and ends with no injector and no env plan."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    clear_faults()
+    yield
+    clear_faults()

@@ -1,0 +1,135 @@
+"""Tests for cross-process lease files: acquire, contend, stale, steal."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+
+import pytest
+
+from repro.store import Lease, NullLease, lease_is_stale
+
+
+@pytest.fixture()
+def lease_path(tmp_path):
+    return str(tmp_path / "leases" / "key.json")
+
+
+def dead_pid() -> int:
+    """A pid that provably does not exist on this host anymore."""
+    proc = subprocess.Popen(["true"])
+    proc.wait()
+    return proc.pid
+
+
+class TestAcquireRelease:
+    def test_acquire_writes_inspectable_record(self, lease_path):
+        lease = Lease(lease_path, ttl_s=300.0)
+        assert lease.acquire()
+        with open(lease_path) as fh:
+            record = json.load(fh)
+        assert record["pid"] == os.getpid()
+        assert record["token"] == lease.token
+        lease.release()
+        assert not os.path.exists(lease_path)
+
+    def test_second_acquire_loses(self, lease_path):
+        first = Lease(lease_path, ttl_s=300.0)
+        assert first.acquire()
+        second = Lease(lease_path, ttl_s=300.0)
+        assert not second.acquire()
+        first.release()
+        assert second.acquire()
+        second.release()
+
+    def test_release_does_not_remove_a_stolen_lease(self, lease_path):
+        first = Lease(lease_path, ttl_s=300.0)
+        assert first.acquire()
+        thief = Lease(lease_path, ttl_s=300.0)
+        assert thief.steal()
+        first.release()  # token no longer ours: file must survive
+        assert os.path.exists(lease_path)
+        with open(lease_path) as fh:
+            assert json.load(fh)["token"] == thief.token
+        thief.release()
+
+    def test_context_manager_requires_acquisition(self, lease_path):
+        with pytest.raises(RuntimeError, match="not acquired"):
+            with Lease(lease_path):
+                pass
+
+
+class TestStaleness:
+    def test_fresh_lease_of_live_pid_is_not_stale(self, lease_path):
+        lease = Lease(lease_path, ttl_s=300.0)
+        assert lease.acquire()
+        assert not lease_is_stale(lease_path, ttl_s=300.0)
+        lease.release()
+
+    def test_stale_by_heartbeat_age(self, lease_path):
+        lease = Lease(lease_path, ttl_s=300.0)
+        assert lease.acquire()
+        old = time.time() - 1000
+        os.utime(lease_path, (old, old))
+        assert lease_is_stale(lease_path, ttl_s=300.0)
+        lease.release()
+
+    def test_stale_by_dead_pid_without_waiting_for_ttl(self, lease_path):
+        lease = Lease(lease_path, ttl_s=300.0)
+        assert lease.acquire()
+        with open(lease_path) as fh:
+            record = json.load(fh)
+        record["pid"] = dead_pid()
+        with open(lease_path, "w") as fh:
+            json.dump(record, fh)
+        assert lease_is_stale(lease_path, ttl_s=300.0)  # mtime is fresh
+
+    def test_vanished_lease_is_stale(self, lease_path):
+        assert lease_is_stale(lease_path, ttl_s=300.0)
+
+    def test_unparsable_lease_only_stale_after_ttl(self, lease_path):
+        os.makedirs(os.path.dirname(lease_path), exist_ok=True)
+        with open(lease_path, "w") as fh:
+            fh.write("{half a rec")  # a holder mid-write
+        assert not lease_is_stale(lease_path, ttl_s=300.0)
+        old = time.time() - 1000
+        os.utime(lease_path, (old, old))
+        assert lease_is_stale(lease_path, ttl_s=300.0)
+
+    def test_steal_takes_over_a_stale_lease(self, lease_path):
+        crashed = Lease(lease_path, ttl_s=300.0)
+        assert crashed.acquire()
+        old = time.time() - 1000
+        os.utime(lease_path, (old, old))
+        thief = Lease(lease_path, ttl_s=300.0)
+        assert not thief.acquire()  # file exists: must go through steal
+        assert thief.steal()
+        assert not lease_is_stale(lease_path, ttl_s=300.0)
+        thief.release()
+
+
+class TestHeartbeat:
+    def test_heartbeat_keeps_the_lease_fresh(self, lease_path):
+        lease = Lease(lease_path, ttl_s=0.4)  # heartbeat every 0.1s
+        assert lease.acquire()
+        with lease:
+            old = time.time() - 1000
+            os.utime(lease_path, (old, old))
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if time.time() - os.stat(lease_path).st_mtime < 10:
+                    break
+                time.sleep(0.05)
+            assert time.time() - os.stat(lease_path).st_mtime < 10
+        assert not os.path.exists(lease_path)
+
+
+class TestNullLease:
+    def test_null_lease_is_a_no_op_context(self):
+        lease = NullLease()
+        assert lease.acquire()
+        with lease:
+            assert lease.held
+        lease.release()

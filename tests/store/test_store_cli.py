@@ -1,0 +1,80 @@
+"""Tests for the ``repro store`` maintenance CLI (gc / stats / quarantine)."""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.cli import main
+from repro.store import BlobStore
+
+KEY = "beadfeed" * 4
+
+
+def seeded_store(root: str) -> BlobStore:
+    """A store with one object, one orphaned tmp, one expired lease."""
+    store = BlobStore(root)
+    store.put(KEY, b"a stage product")
+    obj_dir = os.path.dirname(store.object_path(KEY))
+    orphan = os.path.join(obj_dir, "orphan.tmp")
+    with open(orphan, "wb") as fh:
+        fh.write(b"debris")
+    dead = store.lease_path("dead" * 8)
+    os.makedirs(os.path.dirname(dead), exist_ok=True)
+    with open(dead, "w") as fh:
+        fh.write("{}")
+    old = time.time() - 10_000
+    os.utime(orphan, (old, old))
+    os.utime(dead, (old, old))
+    return store
+
+
+class TestStoreGc:
+    def test_gc_reports_and_removes_debris(self, tmp_path, capsys):
+        store = seeded_store(str(tmp_path))
+        assert main(["store", "gc", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 orphaned tmp file(s), 1 expired lease(s)" in out
+        assert store.get(KEY) == b"a stage product"  # objects untouched
+
+    def test_gc_respects_max_age(self, tmp_path, capsys):
+        seeded_store(str(tmp_path))
+        assert main(["store", "gc", "--root", str(tmp_path),
+                     "--max-age", "1e9"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 orphaned tmp file(s)" in out
+
+    def test_gc_defaults_to_the_stage_cache_root(self, tmp_path, capsys,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        seeded_store(str(tmp_path))
+        assert main(["store", "gc"]) == 0
+        assert "expired lease(s)" in capsys.readouterr().out
+
+
+class TestStoreStats:
+    def test_stats_census(self, tmp_path, capsys):
+        seeded_store(str(tmp_path))
+        assert main(["store", "stats", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "objects         1" in out
+        assert "active leases   1" in out
+
+
+class TestStoreQuarantine:
+    def test_empty_quarantine(self, tmp_path, capsys):
+        assert main(["store", "quarantine", "--root", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_lists_reasons(self, tmp_path, capsys):
+        store = seeded_store(str(tmp_path))
+        path = store.object_path(KEY)
+        data = bytearray(open(path, "rb").read())
+        data[1] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        assert store.get(KEY) is None  # quarantines
+
+        assert main(["store", "quarantine", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 artifact(s)" in out
+        assert "checksum mismatch" in out
