@@ -24,8 +24,10 @@ subcommands are thin shells over this module; see
 ``docs/experiment_api.md`` for the full spec schema and manifest format.
 """
 
-from .experiment import (RESULT_SCHEMA, ExperimentResult, load_dataset,
-                         run_experiment, validate_result_manifest)
+from .experiment import (RESULT_SCHEMA, ExperimentResult,
+                         find_result_manifest, iter_result_manifests,
+                         load_dataset, run_experiment,
+                         validate_result_manifest)
 from .spec import (ComputeSpec, ExperimentSpec, ModelSpec, OutputSpec,
                    SpecError, TrainSpec, WorkloadSpec, apply_overrides,
                    dumps_spec, load_spec, spec_fingerprint, spec_from_dict,
@@ -38,4 +40,5 @@ __all__ = [
     "apply_overrides", "spec_fingerprint",
     "run_experiment", "ExperimentResult", "load_dataset",
     "RESULT_SCHEMA", "validate_result_manifest",
+    "find_result_manifest", "iter_result_manifests",
 ]

@@ -125,9 +125,13 @@ class ComputeSpec:
 class OutputSpec:
     """Where artifacts land.
 
-    ``name`` defaults to ``<family>-<suite>``; ``checkpoint`` and
-    ``manifest`` default to ``<artifacts_dir>/<name>.npz`` and
-    ``<artifacts_dir>/experiments/<name>.json``.
+    ``name`` defaults to ``<family>-<suite>``; ``checkpoint`` defaults
+    to ``<artifacts_dir>/<name>.npz``; ``manifest`` defaults to
+    ``<artifacts_dir>/experiments/<spec_fingerprint>.json`` — derived
+    from *what the spec computes*, so concurrent grid points sharing one
+    ``artifacts_dir`` can never clobber each other's result manifests
+    (two specs with the same fingerprint produce byte-identical results
+    by construction, so overwriting is the correct behaviour there).
     """
 
     name: str | None = None
@@ -155,9 +159,10 @@ class ExperimentSpec:
             self.output.artifacts_dir, f"{self.experiment_name()}.npz")
 
     def manifest_path(self) -> str:
-        return self.output.manifest or os.path.join(
-            self.output.artifacts_dir, "experiments",
-            f"{self.experiment_name()}.json")
+        if self.output.manifest:
+            return self.output.manifest
+        return os.path.join(self.output.artifacts_dir, "experiments",
+                            f"{spec_fingerprint(self)}.json")
 
 
 _SECTIONS = {f.name: f.type for f in fields(ExperimentSpec)}

@@ -18,6 +18,8 @@ Usage (after ``pip install -e .``)::
                                    [--out ckpt.npz]
     python -m repro.cli experiment --config spec.toml [--set KEY=VAL ...]
                                    [--dry-run]
+    python -m repro.cli sweep      run|status|report --config sweep.toml
+                                   [--workers N] [--set KEY=VAL ...]
     python -m repro.cli evaluate   --checkpoint ckpt.npz [--suite NAME]
                                    [--scale 1.0]
     python -m repro.cli predict    --checkpoint ckpt.npz --design superblue5
@@ -203,6 +205,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--admin-token", default=None, dest="admin_token",
                    help="service mode: require this token on reload/"
                         "shutdown ops (default: admin ops are open)")
+
+    p = sub.add_parser("sweep", help="expand a declarative sweep spec "
+                       "into the full experiment grid and drive it to a "
+                       "ranked leaderboard (crash-resumable, "
+                       "exactly-once across concurrent runs)")
+    p.add_argument("action", choices=["run", "status", "report"],
+                   help="run: execute every missing grid point and "
+                        "write the repro-sweep-v1 leaderboard manifest; "
+                        "status: per-point state (done/leased/pending/"
+                        "quarantined) without touching any lease; "
+                        "report: re-aggregate manifests from disk and "
+                        "render the leaderboard")
+    p.add_argument("--config", required=True,
+                   help="sweep spec file (.toml or .json): a base "
+                        "experiment spec plus [axes] of dotted-path "
+                        "override lists (see docs/sweeps.md)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="grid points executed concurrently (process "
+                        "pool; the stage cache is shared, so points on "
+                        "one suite prepare it once)")
+    p.add_argument("--set", action="append", dest="overrides",
+                   metavar="SECTION.KEY=VALUE", default=[],
+                   help="dotted-path override applied to the base spec "
+                        "before grid expansion, repeatable")
 
     p = sub.add_parser("store", help="inspect and maintain the durable "
                        "artifact store (stage cache, quarantine, leases)")
@@ -565,6 +591,63 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from repro.api import SpecError
+    from repro.eval import format_table
+    from repro.sweep import (SweepError, build_sweep_manifest, load_sweep,
+                             render_leaderboard, run_sweep, sweep_status,
+                             write_sweep_manifest)
+    try:
+        sweep = load_sweep(args.config, base_overrides=args.overrides)
+    except SpecError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "status":
+        statuses = sweep_status(sweep)
+        rows = [{"point": s.index, "state": s.state,
+                 "axes": " ".join(f"{p.rsplit('.', 1)[-1]}={v}"
+                                  for p, v in s.axes.items()),
+                 "holder": (f"pid {s.holder.get('pid')}@"
+                            f"{s.holder.get('host')}" if s.holder else ""),
+                 "fingerprint": s.fingerprint[:12]}
+                for s in statuses]
+        counts = {}
+        for s in statuses:
+            counts[s.state] = counts.get(s.state, 0) + 1
+        print(format_table(rows, title=f"Sweep {sweep.name!r}: "
+                           f"{len(statuses)} grid point(s)"))
+        print("\n" + ", ".join(f"{counts[k]} {k}" for k in
+                               ("done", "leased", "pending", "quarantined")
+                               if k in counts))
+        return 0
+
+    if args.action == "run":
+        try:
+            report = run_sweep(sweep, workers=args.workers, verbose=True)
+        except (SweepError, SpecError) as exc:
+            print(f"sweep failed: {exc}", file=sys.stderr)
+            return 2
+        print(f"sweep {sweep.name!r}: {report.total} point(s) — "
+              f"{report.executed} executed, {report.skipped} already "
+              f"done or completed elsewhere")
+
+    try:
+        manifest = build_sweep_manifest(sweep)
+    except SpecError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "report" and not manifest["leaderboard"]:
+        print(f"sweep report failed: no completed grid points under "
+              f"{sweep.artifacts_dir!r} yet (run `repro sweep run "
+              f"--config {args.config}` first)", file=sys.stderr)
+        return 2
+    path = write_sweep_manifest(sweep, manifest)
+    print(render_leaderboard(manifest))
+    print(f"\nsweep manifest written to {path}")
+    return 0
+
+
 def cmd_store(args) -> int:
     from repro.pipeline import default_cache_dir
     from repro.store import BlobStore
@@ -608,6 +691,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": cmd_evaluate,
         "predict": cmd_predict,
         "serve": cmd_serve,
+        "sweep": cmd_sweep,
         "store": cmd_store,
         "info": cmd_info,
     }[args.command]

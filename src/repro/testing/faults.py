@@ -29,6 +29,11 @@ Points currently compiled in:
                            (tag = ``"<stage>:<design>"``)
 ``stage.stored``           barrier right after a stage product is persisted
 ``experiment.manifest``    result-manifest bytes about to be written
+``sweep.point.start``      barrier after a sweep grid point's lease is won,
+                           before it executes (tag = spec fingerprint)
+``sweep.manifest.read``    result-manifest bytes read during sweep
+                           done-detection, before validation
+``sweep.manifest``         sweep leaderboard-manifest bytes about to be written
 =========================  ====================================================
 
 Every rule fires deterministically: hits are counted per rule within a

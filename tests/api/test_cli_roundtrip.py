@@ -50,10 +50,13 @@ def test_train_evaluate_predict_round_trip(family, tmp_path, capsys):
     assert "held-out F1" in out
     assert ckpt in out
 
-    # The manifest landed next to the checkpoint and validates.
-    from repro.api import validate_result_manifest
-    manifest_path = tmp_path / "experiments" / f"{family}-superblue.json"
+    # The manifest landed under experiments/ (fingerprint-named) and
+    # validates; the back-compat finder locates it by fingerprint.
+    from repro.api import find_result_manifest, validate_result_manifest
+    (manifest_path,) = (tmp_path / "experiments").glob("*.json")
     manifest = validate_result_manifest(json.load(open(manifest_path)))
+    found = find_result_manifest(str(tmp_path), manifest["fingerprint"])
+    assert found is not None and found[0] == str(manifest_path)
     assert manifest["experiment"]["model"]["family"] == family
     assert manifest["experiment"]["workload"]["scale"] == 0.15
     # CLI runs prepare their own workload, so the manifest is replayable.
@@ -84,8 +87,8 @@ def test_train_from_config_file(tmp_path, capsys):
                    "--epochs", "1",                    # flag beats file
                    "--set", "train.seed=5"])           # --set beats both
     assert rc == 0
-    manifest = json.load(open(tmp_path / "experiments" /
-                              "mlp-superblue.json"))
+    (manifest_path,) = (tmp_path / "experiments").glob("*.json")
+    manifest = json.load(open(manifest_path))
     assert manifest["experiment"]["train"]["epochs"] == 1
     assert manifest["experiment"]["train"]["seed"] == 5
     assert manifest["experiment"]["model"]["params"]["hidden"] == 8
@@ -105,8 +108,8 @@ def test_experiment_subcommand_end_to_end(tmp_path, capsys):
     assert "experiment smoke-gs" in out
     assert "result manifest written to" in out
     from repro.api import validate_result_manifest
-    validate_result_manifest(
-        json.load(open(tmp_path / "experiments" / "smoke-gs.json")))
+    (manifest_path,) = (tmp_path / "experiments").glob("*.json")
+    validate_result_manifest(json.load(open(manifest_path)))
 
 
 def test_stats_takes_suite_and_scale(capsys):

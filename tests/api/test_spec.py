@@ -32,7 +32,14 @@ class TestDefaultsAndRoundTrip:
                                "workload": {"suite": "hotspot"}})
         assert spec.experiment_name() == "unet-hotspot"
         assert spec.checkpoint_path().endswith("unet-hotspot.npz")
-        assert spec.manifest_path().endswith("unet-hotspot.json")
+        # Manifests are fingerprint-named (never name-collidable), so
+        # concurrent grid points can share one artifacts_dir.
+        assert spec.manifest_path().endswith(
+            f"experiments/{spec_fingerprint(spec)}.json")
+
+    def test_manifest_path_honours_explicit_override(self):
+        spec = spec_from_dict({"output": {"manifest": "out/custom.json"}})
+        assert spec.manifest_path() == "out/custom.json"
 
     def test_dumps_is_canonical_json(self):
         payload = json.loads(dumps_spec(ExperimentSpec()))

@@ -1,0 +1,62 @@
+"""Sweep-test fixtures: isolated stage cache, stub-executor registry.
+
+Sweep runs set the process-wide compute dtype (through
+``run_experiment``), so restore it around every test; the stage cache is
+redirected to a per-session temp dir so tests never touch the real
+cache root.  Stub executors (see ``sweep_utils``) are registered by
+name in ``repro.sweep.runner._EXECUTORS`` and deregistered after each
+test.
+"""
+
+from __future__ import annotations
+
+import pytest
+from sweep_utils import (flaky_stub_execute, slow_stub_execute,
+                         stub_execute)
+
+from repro.nn import get_default_dtype, set_default_dtype
+from repro.sweep import runner
+from repro.testing.faults import clear_faults
+
+
+@pytest.fixture(autouse=True)
+def restore_default_dtype():
+    prev = get_default_dtype()
+    yield
+    set_default_dtype(prev)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(monkeypatch, tmp_path_factory):
+    cache = tmp_path_factory.getbasetemp() / "sweep-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_faults():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+def _register(name, fn):
+    runner._EXECUTORS[name] = fn
+    return name
+
+
+@pytest.fixture
+def stub_executor():
+    yield _register("stub", stub_execute)
+    runner._EXECUTORS.pop("stub", None)
+
+
+@pytest.fixture
+def slow_stub_executor():
+    yield _register("slow-stub", slow_stub_execute)
+    runner._EXECUTORS.pop("slow-stub", None)
+
+
+@pytest.fixture
+def flaky_stub_executor():
+    yield _register("flaky", flaky_stub_execute)
+    runner._EXECUTORS.pop("flaky", None)

@@ -1,0 +1,94 @@
+"""Shared sweep-test helpers (stub manifests, stub executors, payloads).
+
+Kept out of ``conftest.py`` so test modules can import them by name
+(the tests tree is not a package; pytest puts this directory on
+``sys.path``).  The stub executors short-circuit the expensive
+experiment body: they write a *schema-valid* result manifest straight to
+the spec's fingerprint-derived path, so runner tests exercise the full
+lease / resume / quarantine machinery in milliseconds.  They are
+module-level functions because fork-pool workers inherit
+``repro.sweep.runner._EXECUTORS`` by reference — names registered there
+must resolve to importable code, not closures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.api.spec import spec_fingerprint, spec_from_dict, spec_to_dict
+
+
+def make_stub_manifest(spec, fingerprint: str) -> dict:
+    """A minimal dict that passes ``validate_result_manifest``.
+
+    F1/ACC are derived from the fingerprint so different grid points get
+    deterministic, (almost surely) distinct leaderboard positions.
+    """
+    score = int(fingerprint[:4], 16) % 10000 / 100.0
+    return {
+        "schema": "repro-experiment-v1",
+        "experiment": spec_to_dict(spec),
+        "fingerprint": fingerprint,
+        "family": spec.model.family,
+        "metrics": {"f1": score, "acc": (score + 7.0) % 100.0},
+        "checkpoint": spec.output.checkpoint or "",
+        "workload": {"suite": spec.workload.suite, "num_designs": 2,
+                     "dataset_injected": False,
+                     "train_designs": ["a"], "test_designs": ["b"]},
+        "timing": {"prepare_seconds": 0.0, "train_seconds": 0.0,
+                   "evaluate_seconds": 0.0},
+        "created_unix": time.time(),
+    }
+
+
+def write_stub_manifest(spec, *, path: str | None = None) -> str:
+    """Write a stub manifest for ``spec`` (default: its canonical path).
+
+    Atomic (tmp + rename) like the real executor: a concurrent reader
+    must never see a torn manifest and quarantine it as corrupt.
+    """
+    from repro.store import atomic_write_bytes
+    fingerprint = spec_fingerprint(spec)
+    path = path or spec.manifest_path()
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    atomic_write_bytes(
+        path,
+        json.dumps(make_stub_manifest(spec, fingerprint)).encode())
+    return path
+
+
+def stub_execute(spec_payload: dict) -> dict:
+    spec = spec_from_dict(spec_payload)
+    write_stub_manifest(spec)
+    return {}
+
+
+def slow_stub_execute(spec_payload: dict) -> dict:
+    time.sleep(0.05)  # widen the race window for concurrency tests
+    return stub_execute(spec_payload)
+
+
+def flaky_stub_execute(spec_payload: dict) -> dict:
+    if spec_payload["model"]["family"] == "gridsage":
+        raise RuntimeError("injected gridsage failure")
+    return stub_execute(spec_payload)
+
+
+def tiny_sweep_payload(artifacts_dir: str, axes: dict | None = None) -> dict:
+    """A 2x2 sweep dict over the tiny hotspot workload."""
+    return {
+        "name": "unit",
+        "base": {
+            "workload": {"suite": "hotspot", "count": 2, "scale": 0.2},
+            "model": {"family": "mlp", "channels": 1,
+                      "params": {"hidden": 8}},
+            "train": {"epochs": 1},
+            "output": {"artifacts_dir": artifacts_dir},
+        },
+        "axes": axes if axes is not None else {
+            "model.family": ["mlp", "gridsage"],
+            "train.epochs": [1, 2],
+        },
+    }

@@ -1,0 +1,119 @@
+"""Chaos tier: SIGKILL a `sweep run --workers 2` mid-grid, then resume.
+
+The fault plan rides in ``REPRO_FAULTS``: each fork-pool worker loads it
+with fresh hit counters, so the worker that picks up its second grid
+point SIGKILLs itself at the ``sweep.point.start`` barrier (after
+winning the lease, before executing).  The parent's pool breaks and the
+CLI dies non-zero — a deterministic "crashed mid-grid".  The rerun
+must complete exactly the missing points: done manifests are not
+rewritten (stable mtimes), the dead worker's stale lease is stolen, and
+the execution journal shows every fingerprint exactly once across both
+runs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.sweep import expand_grid, load_sweep
+from repro.testing.faults import FAULTS_ENV, FaultInjector, FaultRule
+
+pytestmark = pytest.mark.chaos
+
+SWEEP_TOML = """\
+name = "chaos-2x2"
+
+[base.workload]
+suite = "hotspot"
+count = 2
+scale = 0.2
+
+[base.model]
+family = "mlp"
+channels = 1
+
+[base.model.params]
+hidden = 8
+
+[base.compute]
+dtype = "float32"
+
+[base.output]
+artifacts_dir = "{artifacts}"
+
+[axes]
+"model.family" = ["mlp", "gridsage"]
+"train.epochs" = [1, 2]
+"""
+
+
+def run_cli(config, cwd, *, faults=None, workers=2):
+    env = {**os.environ,
+           "PYTHONPATH": os.path.abspath("src"),
+           "REPRO_CACHE_DIR": str(cwd / "cache")}
+    env.pop(FAULTS_ENV, None)
+    if faults is not None:
+        env[FAULTS_ENV] = faults.to_env()
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "sweep", "run",
+         "--config", str(config), "--workers", str(workers)],
+        cwd=str(cwd), env=env, capture_output=True, text=True,
+        timeout=300)
+
+
+def test_sigkill_mid_grid_then_exact_resume(tmp_path):
+    artifacts = tmp_path / "artifacts"
+    config = tmp_path / "sweep.toml"
+    config.write_text(SWEEP_TOML.format(artifacts=artifacts))
+    sweep = load_sweep(str(config))
+    points = expand_grid(sweep)
+
+    # Round 1: each pool worker SIGKILLs itself at its second point's
+    # start barrier — with 4 points on 2 workers, someone always hits
+    # a second point, so the run provably dies partway.
+    faults = FaultInjector([FaultRule(point="sweep.point.start",
+                                      action="kill", nth=2)])
+    crashed = run_cli(config, tmp_path, faults=faults)
+    assert crashed.returncode != 0, crashed.stdout + crashed.stderr
+
+    done_before = {p.fingerprint: os.stat(p.spec.manifest_path()).st_mtime_ns
+                   for p in points
+                   if os.path.exists(p.spec.manifest_path())}
+    assert 0 < len(done_before) < 4, (
+        f"kill plan should leave a partial grid, got "
+        f"{len(done_before)}/4 done\n{crashed.stdout}{crashed.stderr}")
+
+    # Round 2, no faults: completes every missing point exactly once.
+    resumed = run_cli(config, tmp_path)
+    assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+    for point in points:
+        assert os.path.exists(point.spec.manifest_path())
+        manifest = json.load(open(point.spec.manifest_path()))
+        assert manifest["fingerprint"] == point.fingerprint
+
+    # Completed points were resumed, not recomputed: byte-stable mtimes.
+    for fingerprint, mtime_ns in done_before.items():
+        path = os.path.join(str(artifacts), "experiments",
+                            f"{fingerprint}.json")
+        assert os.stat(path).st_mtime_ns == mtime_ns
+
+    # Exactly once across both runs: the journal records each
+    # fingerprint's execution a single time (the SIGKILL fires *before*
+    # execution, so the killed points left no journal entry behind).
+    journal = os.path.join(str(artifacts), "experiments",
+                           "sweep-journal.jsonl")
+    with open(journal) as fh:
+        events = [json.loads(line) for line in fh if line.strip()]
+    executed = [e["fingerprint"] for e in events
+                if e["event"] == "executed"]
+    assert sorted(executed) == sorted(p.fingerprint for p in points)
+
+    # The leaderboard manifest reflects the fully-healed grid.
+    from repro.sweep import sweep_manifest_path, validate_sweep_manifest
+    manifest = validate_sweep_manifest(
+        json.load(open(sweep_manifest_path(sweep))))
+    assert manifest["complete"] is True
+    assert len(manifest["leaderboard"]) == 4

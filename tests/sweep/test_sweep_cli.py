@@ -1,0 +1,76 @@
+"""`repro.cli sweep run|status|report` end to end (real tiny grid)."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.sweep import load_sweep, sweep_manifest_path, validate_sweep_manifest
+
+
+@pytest.fixture()
+def sweep_toml(tmp_path):
+    """A real 2-point grid: mlp on tiny hotspot, 1 vs 2 epochs."""
+    path = tmp_path / "sweep.toml"
+    path.write_text(
+        "name = 'cli-grid'\n"
+        "[base.workload]\nsuite = 'hotspot'\ncount = 2\nscale = 0.2\n"
+        "[base.model]\nfamily = 'mlp'\nchannels = 1\n"
+        "[base.model.params]\nhidden = 8\n"
+        "[base.compute]\ndtype = 'float32'\n"
+        f"[base.output]\nartifacts_dir = '{tmp_path}'\n"
+        "[axes]\n\"train.epochs\" = [1, 2]\n")
+    return str(path)
+
+
+def test_run_status_report_round_trip(sweep_toml, tmp_path, capsys):
+    assert cli.main(["sweep", "run", "--config", sweep_toml]) == 0
+    out = capsys.readouterr().out
+    assert "2 point(s) — 2 executed" in out
+    assert "sweep manifest written to" in out
+
+    sweep = load_sweep(sweep_toml)
+    manifest = validate_sweep_manifest(
+        json.load(open(sweep_manifest_path(sweep))))
+    assert manifest["complete"] is True
+    assert len(manifest["leaderboard"]) == 2
+    assert {e["family"] for e in manifest["leaderboard"]} == {"mlp"}
+
+    # Rerun resumes: nothing executes, everything is already done.
+    assert cli.main(["sweep", "run", "--config", sweep_toml]) == 0
+    assert "0 executed, 2 already" in capsys.readouterr().out
+
+    assert cli.main(["sweep", "status", "--config", sweep_toml]) == 0
+    out = capsys.readouterr().out
+    assert "2 grid point(s)" in out
+    assert "2 done" in out
+
+    assert cli.main(["sweep", "report", "--config", sweep_toml]) == 0
+    out = capsys.readouterr().out
+    assert "Sweep 'cli-grid': 2/2 grid point(s) done" in out
+    assert "Best F1 % per family x suite" in out
+
+
+def test_status_before_any_run(sweep_toml, capsys):
+    assert cli.main(["sweep", "status", "--config", sweep_toml]) == 0
+    assert "2 pending" in capsys.readouterr().out
+
+
+def test_report_before_any_run_fails(sweep_toml, capsys):
+    assert cli.main(["sweep", "report", "--config", sweep_toml]) == 2
+    assert "no completed grid points" in capsys.readouterr().err
+
+
+def test_bad_config_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text("name = 'x'\n[axes]\n\"train.verbose\" = [true, false]\n")
+    assert cli.main(["sweep", "run", "--config", str(bad)]) == 2
+    assert "sweep failed" in capsys.readouterr().err
+
+
+def test_set_overrides_reach_the_base(sweep_toml, tmp_path, capsys):
+    """--set train.seed pins the seed for every grid point."""
+    assert cli.main(["sweep", "status", "--config", sweep_toml,
+                     "--set", "train.seed=3"]) == 0
+    sweep = load_sweep(sweep_toml, base_overrides=["train.seed=3"])
+    assert sweep.seed_pinned
